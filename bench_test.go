@@ -1,0 +1,239 @@
+package diffserve
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (run with `go test -bench=. -benchmem`). Each
+// benchmark executes the corresponding experiment end to end at
+// reduced ("Short") sizes so the whole suite completes in minutes;
+// run cmd/diffserve-sim with full sizes to reproduce the numbers in
+// EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"diffserve/internal/allocator"
+	"diffserve/internal/baselines"
+	"diffserve/internal/cascade"
+	"diffserve/internal/discriminator"
+	"diffserve/internal/experiments"
+	"diffserve/internal/fid"
+	"diffserve/internal/imagespace"
+	"diffserve/internal/model"
+	"diffserve/internal/stats"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 20250610, Short: true}
+}
+
+func runRenderable(b *testing.B, run func(experiments.Config) (interface{ Render(io.Writer) }, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig1a regenerates Figure 1a (scorer quality-latency curves).
+func BenchmarkFig1a(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig1a(c)
+	})
+}
+
+// BenchmarkFig1b regenerates Figure 1b (quality-difference CDFs).
+func BenchmarkFig1b(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig1b(c)
+	})
+}
+
+// BenchmarkFig1c regenerates Figure 1c (configuration Pareto frontier).
+func BenchmarkFig1c(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig1c(c)
+	})
+}
+
+// BenchmarkFig4 regenerates Figure 4 (static traces, three loads).
+func BenchmarkFig4(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig4(c)
+	})
+}
+
+// BenchmarkFig5 regenerates Figure 5 (dynamic-trace timeline).
+func BenchmarkFig5(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig5(c)
+	})
+}
+
+// BenchmarkFig6 regenerates Figure 6 (cascades 2 and 3).
+func BenchmarkFig6(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig6(c)
+	})
+}
+
+// BenchmarkFig7 regenerates Figure 7 (discriminator ablation).
+func BenchmarkFig7(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig7(c)
+	})
+}
+
+// BenchmarkFig8 regenerates Figure 8 (allocator ablation).
+func BenchmarkFig8(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig8(c)
+	})
+}
+
+// BenchmarkFig9 regenerates Figure 9 (SLO sensitivity).
+func BenchmarkFig9(b *testing.B) {
+	runRenderable(b, func(c experiments.Config) (interface{ Render(io.Writer) }, error) {
+		return experiments.Fig9(c)
+	})
+}
+
+// BenchmarkMILPSolve measures one resource-allocation solve (§4.5
+// reports ~10 ms under Gurobi).
+func BenchmarkMILPSolve(b *testing.B) {
+	env, err := baselines.NewEnv("cascade1", 1, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := allocator.NewMILP(allocator.Config{
+		Light: env.Light, Heavy: env.Heavy,
+		DiscPerImage: env.Scorer.PerImageLatency(),
+		Deferral:     env.Deferral,
+		TotalWorkers: 16,
+		SLO:          5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Allocate(allocator.Observation{Demand: float64(4 + i%28)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocatorMILPVsGrid is the solver-strategy ablation: the
+// exhaustive grid enumeration that cross-validates the MILP.
+func BenchmarkAllocatorMILPVsGrid(b *testing.B) {
+	env, err := baselines.NewEnv("cascade1", 1, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := allocator.Config{
+		Light: env.Light, Heavy: env.Heavy,
+		DiscPerImage: env.Scorer.PerImageLatency(),
+		Deferral:     env.Deferral,
+		TotalWorkers: 16,
+		SLO:          5,
+	}
+	g, err := allocator.NewGrid(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Allocate(allocator.Observation{Demand: float64(4 + i%28)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFIDExactVsDiagonal_Exact measures the exact full-covariance
+// FID over a 5000-image set (the design-choice ablation's exact arm;
+// see also the micro-benchmarks in internal/fid).
+func BenchmarkFIDExactVsDiagonal_Exact(b *testing.B) {
+	ref, feats := fidFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Score(feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFIDExactVsDiagonal_Diagonal measures the diagonal
+// approximation on the same set.
+func BenchmarkFIDExactVsDiagonal_Diagonal(b *testing.B) {
+	ref, feats := fidFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.ScoreDiagonal(feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fidFixture(b *testing.B) (*fid.Reference, [][]float64) {
+	b.Helper()
+	rng := stats.NewRNG(3)
+	space, err := imagespace.NewSpace(imagespace.DefaultSpaceConfig(), rng.Stream("space"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := model.BuiltinRegistry().MustGet("sdturbo")
+	queries := space.SampleQueries(0, 5000)
+	feats := make([][]float64, len(queries))
+	real := make([][]float64, len(queries))
+	for i, q := range queries {
+		feats[i] = space.GenerateDeterministic(q, v.Name, v.Gen).Features
+		real[i] = space.RealImage(q)
+	}
+	ref, err := fid.NewReference(real)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref, feats
+}
+
+// BenchmarkCascadeProcess measures one query through the cascade's
+// offline data path (generate light image, score, maybe defer).
+func BenchmarkCascadeProcess(b *testing.B) {
+	rng := stats.NewRNG(4)
+	space, err := imagespace.NewSpace(imagespace.DefaultSpaceConfig(), rng.Stream("space"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := model.BuiltinRegistry()
+	d, err := discriminator.New(discriminator.Config{
+		Arch: discriminator.ArchEfficientNet, Train: discriminator.TrainGT,
+	}, rng.Stream("d"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cascade.New(space, reg.MustGet("sdturbo"), reg.MustGet("sdv15"), d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := space.SampleQueries(0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Process(queries[i%len(queries)], 0.5)
+	}
+}
+
+// BenchmarkServeDiffServe measures a full simulated serving run of
+// DiffServe on a short dynamic trace.
+func BenchmarkServeDiffServe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Serve(Config{
+			Cascade: "cascade1", Approach: DiffServe,
+			Workers: 16, TraceMinQPS: 4, TraceMaxQPS: 24,
+			TraceDurationSeconds: 60, Seed: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command diffserve-client replays a workload trace against a running
+// DiffServe cluster (the artifact's start_client.sh) and reports
+// end-to-end quality and SLO statistics when the trace ends.
+//
+//	diffserve-client -lb http://localhost:8100 -trace trace_4to32qps.txt -timescale 0.1
+//	diffserve-client -lb http://localhost:8100 -min 4 -max 32 -duration 360
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"diffserve/internal/baselines"
+	"diffserve/internal/cluster"
+	"diffserve/internal/fid"
+	"diffserve/internal/metrics"
+	"diffserve/internal/stats"
+	"diffserve/internal/trace"
+)
+
+func main() {
+	var (
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
+		traceFile = flag.String("trace", "", "trace file (empty: generate an Azure-like trace)")
+		cascadeN  = flag.String("cascade", "cascade1", "cascade (for query content + SLO)")
+		minQPS    = flag.Float64("min", 4, "generated trace minimum QPS")
+		maxQPS    = flag.Float64("max", 32, "generated trace maximum QPS")
+		duration  = flag.Float64("duration", 360, "generated trace duration (seconds)")
+		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+	)
+	flag.Parse()
+
+	env, err := baselines.NewEnv(*cascadeN, *seed, 500)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		raw, err := trace.AzureLike(stats.NewRNG(*seed+1), *duration, 1)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = raw.ScaleTo(*minQPS, *maxQPS)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	arrivals := tr.Arrivals(stats.NewRNG(*seed + 17).Stream("trace"))
+	fmt.Printf("diffserve-client: replaying %s (%d queries) at %gx speed\n",
+		tr.Name(), len(arrivals), 1 / *timescale)
+
+	clock := cluster.NewClock(*timescale)
+	client := &http.Client{Timeout: 10 * time.Minute}
+	col := metrics.NewCollector()
+	var mu sync.Mutex
+	realFeats := make([][]float64, len(arrivals))
+	var wg sync.WaitGroup
+	for i, at := range arrivals {
+		q := env.Space.SampleQuery(i)
+		realFeats[i] = env.Space.RealImage(q)
+		wg.Add(1)
+		go func(id int, at float64) {
+			defer wg.Done()
+			clock.SleepTrace(at - clock.Now())
+			var resp cluster.QueryResponse
+			err := postJSON(client, *lbURL+"/query", cluster.QueryMsg{ID: id, Arrival: at}, &resp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil || resp.Dropped {
+				col.Record(metrics.QueryRecord{ID: id, Arrival: at, Deadline: at + env.Spec.SLOSeconds, Dropped: true})
+				return
+			}
+			col.Record(metrics.QueryRecord{
+				ID: id, Arrival: at, Completion: resp.Completion,
+				Deadline: at + env.Spec.SLOSeconds, Deferred: resp.Deferred,
+				ServedBy: resp.Variant, Confidence: resp.Confidence,
+				Features: resp.Features, Artifact: resp.Artifact,
+			})
+		}(i, at)
+	}
+	wg.Wait()
+	fmt.Println("Trace ended")
+
+	ref, err := fid.NewReference(realFeats)
+	if err != nil {
+		fatal(err)
+	}
+	sum := col.Summarize(ref)
+	fmt.Printf("queries          %d\n", sum.Queries)
+	fmt.Printf("FID              %.2f\n", sum.FID)
+	fmt.Printf("SLO violations   %.3f (drops %.3f)\n", sum.ViolationRatio, sum.DropRatio)
+	fmt.Printf("deferred         %.2f\n", sum.DeferRatio)
+	fmt.Printf("latency mean/p99 %.2fs / %.2fs\n", sum.MeanLatency, sum.P99Latency)
+}
+
+func postJSON(c *http.Client, url string, in, out interface{}) error {
+	return cluster.PostJSON(c, url, in, out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffserve-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command diffserve-controller runs the DiffServe control plane as a
+// standalone process (the artifact's start_controller.sh): it polls
+// the load balancer's runtime statistics, re-solves the MILP resource
+// allocation every control interval, and pushes plans to the load
+// balancer and workers.
+//
+//	diffserve-controller -lb http://localhost:8100 \
+//	    -workers http://localhost:50051,http://localhost:50052 \
+//	    -cascade cascade1 -timescale 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diffserve/internal/allocator"
+	"diffserve/internal/baselines"
+	"diffserve/internal/cluster"
+	"diffserve/internal/controller"
+	"diffserve/internal/loadbalancer"
+)
+
+func main() {
+	var (
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
+		workerCSV = flag.String("workers", "", "comma-separated worker base URLs")
+		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
+		slo       = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
+		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		interval  = flag.Float64("interval", 2, "control period in trace seconds")
+	)
+	flag.Parse()
+
+	workerURLs := strings.Split(*workerCSV, ",")
+	if *workerCSV == "" || len(workerURLs) == 0 {
+		fatal(fmt.Errorf("need -workers URLs"))
+	}
+
+	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
+	if err != nil {
+		fatal(err)
+	}
+	deadline := env.Spec.SLOSeconds
+	if *slo > 0 {
+		deadline = *slo
+	}
+	alloc, err := allocator.NewMILP(allocator.Config{
+		Light: env.Light, Heavy: env.Heavy,
+		DiscPerImage: env.Scorer.PerImageLatency(),
+		Deferral:     env.Deferral,
+		TotalWorkers: len(workerURLs),
+		SLO:          deadline,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctrl, err := controller.New(controller.Config{Alloc: alloc, Interval: *interval})
+	if err != nil {
+		fatal(err)
+	}
+	clock := cluster.NewClock(*timescale)
+	loop := cluster.NewControllerLoop(cluster.ControllerConfig{
+		Ctrl: ctrl, LBURL: *lbURL, WorkerURLs: workerURLs,
+		Mode: loadbalancer.ModeCascade, Clock: clock,
+	})
+	fmt.Printf("diffserve-controller: %d workers, SLO %.1fs, interval %.1fs\n",
+		len(workerURLs), deadline, *interval)
+	loop.Run(context.Background())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffserve-controller:", err)
+	os.Exit(1)
+}

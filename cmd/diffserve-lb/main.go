@@ -1,0 +1,65 @@
+// Command diffserve-lb runs the DiffServe load balancer as a
+// standalone process (the artifact's start_load_balancer.sh).
+//
+// Workers pull batches from this process; the controller pushes
+// thresholds; clients POST /query and block until completion.
+//
+//	diffserve-lb -port 8100 -cascade cascade1 -slo 5 -timescale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"diffserve/internal/baselines"
+	"diffserve/internal/cluster"
+	"diffserve/internal/loadbalancer"
+)
+
+func main() {
+	var (
+		port      = flag.Int("port", 8100, "listen port")
+		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
+		slo       = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
+		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		mode      = flag.String("mode", "cascade", "routing: cascade|all-light|all-heavy|random-split")
+	)
+	flag.Parse()
+
+	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
+	if err != nil {
+		fatal(err)
+	}
+	deadline := env.Spec.SLOSeconds
+	if *slo > 0 {
+		deadline = *slo
+	}
+	lbMode := map[string]loadbalancer.Mode{
+		"cascade":      loadbalancer.ModeCascade,
+		"all-light":    loadbalancer.ModeAllLight,
+		"all-heavy":    loadbalancer.ModeAllHeavy,
+		"random-split": loadbalancer.ModeRandomSplit,
+	}[*mode]
+
+	clock := cluster.NewClock(*timescale)
+	lb := cluster.NewLBServer(cluster.LBConfig{
+		Mode: lbMode, SLO: deadline,
+		LightMinExec: env.Light.Latency.Latency(1) + env.Scorer.PerImageLatency(),
+		HeavyMinExec: env.Heavy.Latency.Latency(1),
+		Clock:        clock, Seed: *seed,
+	})
+	addr := fmt.Sprintf(":%d", *port)
+	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s)\n",
+		env.Spec.Name, addr, *cascadeN, deadline, *mode)
+	if err := http.ListenAndServe(addr, lb.Mux()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffserve-lb:", err)
+	os.Exit(1)
+}

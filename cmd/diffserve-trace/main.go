@@ -1,0 +1,102 @@
+// Command diffserve-trace generates, scales, and inspects workload
+// trace files in the artifact's trace_{A}to{B}qps format.
+//
+// Usage:
+//
+//	diffserve-trace -gen azure -duration 360 -min 4 -max 32 -o trace_4to32qps.txt
+//	diffserve-trace -gen static -qps 10 -duration 120 -o steady.txt
+//	diffserve-trace -scale trace.txt -min 1 -max 8 -o trace_1to8qps.txt
+//	diffserve-trace -info trace_4to32qps.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diffserve/internal/stats"
+	"diffserve/internal/trace"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "generate a trace: azure|static")
+		scale    = flag.String("scale", "", "trace file to rescale")
+		info     = flag.String("info", "", "trace file to describe")
+		out      = flag.String("o", "", "output file (default stdout)")
+		duration = flag.Float64("duration", 360, "trace duration in seconds")
+		interval = flag.Float64("interval", 1, "seconds per rate step")
+		minQPS   = flag.Float64("min", 4, "minimum rate after scaling")
+		maxQPS   = flag.Float64("max", 32, "maximum rate after scaling")
+		qps      = flag.Float64("qps", 10, "rate for -gen static")
+		seed     = flag.Uint64("seed", 20250610, "random seed for -gen azure")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		tr := readTrace(*info)
+		fmt.Printf("%s: %d steps x %gs, duration %.0fs\n", tr.Name(), len(tr.Rates), tr.Interval, tr.Duration())
+		fmt.Printf("rates: min %.2f  mean %.2f  peak %.2f QPS\n", tr.MinRate(), tr.MeanRate(), tr.PeakRate())
+		fmt.Printf("expected queries: %.0f\n", tr.ExpectedQueries())
+	case *scale != "":
+		tr := readTrace(*scale)
+		scaled, err := tr.ScaleTo(*minQPS, *maxQPS)
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace(*out, scaled)
+	case *gen == "azure":
+		raw, err := trace.AzureLike(stats.NewRNG(*seed), *duration, *interval)
+		if err != nil {
+			fatal(err)
+		}
+		scaled, err := raw.ScaleTo(*minQPS, *maxQPS)
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace(*out, scaled)
+	case *gen == "static":
+		tr, err := trace.Static(*qps, *duration, *interval)
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace(*out, tr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func writeTrace(path string, tr *trace.Trace) {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffserve-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command diffserve-worker runs one simulated GPU worker process (the
+// artifact's start_worker.sh with --do_simulate).
+//
+// The worker pulls batches from the load balancer, sleeps for the
+// profiled execution latency (timescale-adjusted), and reports
+// generated images and discriminator confidences. All processes must
+// share the same -seed so query content is regenerated consistently.
+//
+//	diffserve-worker -port 50051 -id 0 -lb http://localhost:8100 -cascade cascade1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"diffserve/internal/baselines"
+	"diffserve/internal/cluster"
+)
+
+func main() {
+	var (
+		port      = flag.Int("port", 50051, "listen port (control API)")
+		id        = flag.Int("id", 0, "worker ID")
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
+		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
+		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		fastLoad  = flag.Bool("fast-load", false, "skip model-switch load delays")
+	)
+	flag.Parse()
+
+	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
+	if err != nil {
+		fatal(err)
+	}
+	clock := cluster.NewClock(*timescale)
+	ws := cluster.NewWorkerServer(cluster.WorkerConfig{
+		ID: *id, LBURL: *lbURL,
+		Space: env.Space, Light: env.Light, Heavy: env.Heavy,
+		Scorer: env.Scorer, Clock: clock,
+		DisableLoadDelay: *fastLoad,
+	})
+	go ws.Loop(context.Background())
+
+	addr := fmt.Sprintf(":%d", *port)
+	fmt.Printf("diffserve-worker %d: ready on %s (pulling from %s)\n", *id, addr, *lbURL)
+	if err := http.ListenAndServe(addr, ws.Mux()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffserve-worker:", err)
+	os.Exit(1)
+}

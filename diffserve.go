@@ -1,0 +1,202 @@
+package diffserve
+
+import (
+	"fmt"
+	"math"
+
+	"diffserve/internal/baselines"
+	"diffserve/internal/stats"
+	"diffserve/internal/trace"
+)
+
+// Approach selects a serving policy.
+type Approach string
+
+// Serving approaches from the paper's evaluation (Table 1) plus the
+// §4.5 allocator ablations.
+const (
+	ClipperLight    Approach = "clipper-light"
+	ClipperHeavy    Approach = "clipper-heavy"
+	Proteus         Approach = "proteus"
+	DiffServeStatic Approach = "diffserve-static"
+	DiffServe       Approach = "diffserve"
+
+	AblationStaticThreshold Approach = "diffserve-static-threshold"
+	AblationAIMD            Approach = "diffserve-aimd"
+	AblationNoQueue         Approach = "diffserve-no-queue"
+)
+
+// Approaches lists the five headline approaches in presentation order.
+func Approaches() []Approach {
+	return []Approach{ClipperLight, ClipperHeavy, Proteus, DiffServeStatic, DiffServe}
+}
+
+// Config describes one serving run.
+type Config struct {
+	// Cascade names the light-heavy pair: "cascade1" (SD-Turbo +
+	// SDv1.5), "cascade2" (SDXS + SDv1.5), or "cascade3"
+	// (SDXL-Lightning + SDXL). Default "cascade1".
+	Cascade string
+	// Approach selects the serving policy. Default DiffServe.
+	Approach Approach
+	// Workers is the GPU budget. Default 16 (the paper's testbed).
+	Workers int
+	// SLOSeconds overrides the cascade's default deadline.
+	SLOSeconds float64
+	// Seed makes the run reproducible. Default 20250610.
+	Seed uint64
+
+	// Workload: either a constant load (StaticQPS > 0) or an
+	// Azure-shaped diurnal trace between TraceMinQPS and TraceMaxQPS.
+	StaticQPS                float64
+	TraceMinQPS, TraceMaxQPS float64
+	// TraceDurationSeconds is the workload length. Default 360.
+	TraceDurationSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cascade == "" {
+		c.Cascade = "cascade1"
+	}
+	if c.Approach == "" {
+		c.Approach = DiffServe
+	}
+	if c.Seed == 0 {
+		c.Seed = 20250610
+	}
+	if c.TraceDurationSeconds <= 0 {
+		c.TraceDurationSeconds = 360
+	}
+	if c.StaticQPS <= 0 && c.TraceMaxQPS <= 0 {
+		c.TraceMinQPS, c.TraceMaxQPS = 4, 32
+	}
+	return c
+}
+
+// TimelinePoint is one 10-second window of a serving run.
+type TimelinePoint struct {
+	StartSeconds   float64
+	DemandQPS      float64
+	FID            float64 // NaN when too few images completed
+	ViolationRatio float64
+	DeferRatio     float64
+}
+
+// PlanDecision is one controller allocation decision.
+type PlanDecision struct {
+	TimeSeconds   float64
+	DemandQPS     float64
+	Threshold     float64
+	DeferFraction float64
+	LightWorkers  int
+	HeavyWorkers  int
+	LightBatch    int
+	HeavyBatch    int
+	Feasible      bool
+}
+
+// Report is the outcome of a serving run.
+type Report struct {
+	Approach          Approach
+	Cascade           string
+	Queries           int
+	FID               float64
+	SLOViolationRatio float64
+	DropRatio         float64
+	DeferRatio        float64
+	MeanLatency       float64
+	P99Latency        float64
+	Timeline          []TimelinePoint
+	Plans             []PlanDecision
+}
+
+// Serve runs one serving configuration through the discrete-event
+// simulator and reports quality and SLO statistics.
+func Serve(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	env, err := baselines.NewEnv(cfg.Cascade, cfg.Seed, 2000)
+	if err != nil {
+		return nil, err
+	}
+	var tr *trace.Trace
+	if cfg.StaticQPS > 0 {
+		tr, err = trace.Static(cfg.StaticQPS, cfg.TraceDurationSeconds, 1)
+	} else {
+		var raw *trace.Trace
+		raw, err = trace.AzureLike(stats.NewRNG(cfg.Seed+1), cfg.TraceDurationSeconds, 1)
+		if err == nil {
+			tr, err = raw.ScaleTo(cfg.TraceMinQPS, cfg.TraceMaxQPS)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sys, err := env.NewSystem(baselines.Approach(cfg.Approach), tr, baselines.Options{
+		Workers: cfg.Workers,
+		SLO:     cfg.SLOSeconds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	sum := res.Collector.Summarize(res.Reference)
+	report := &Report{
+		Approach:          cfg.Approach,
+		Cascade:           cfg.Cascade,
+		Queries:           sum.Queries,
+		FID:               sum.FID,
+		SLOViolationRatio: sum.ViolationRatio,
+		DropRatio:         sum.DropRatio,
+		DeferRatio:        sum.DeferRatio,
+		MeanLatency:       sum.MeanLatency,
+		P99Latency:        sum.P99Latency,
+	}
+	buckets, err := res.Collector.Timeline(10, res.Reference, 48)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range buckets {
+		report.Timeline = append(report.Timeline, TimelinePoint{
+			StartSeconds: b.Start, DemandQPS: b.DemandQPS,
+			FID: b.FID, ViolationRatio: b.ViolationRatio, DeferRatio: b.DeferRatio,
+		})
+	}
+	for _, pa := range res.Plans {
+		report.Plans = append(report.Plans, PlanDecision{
+			TimeSeconds: pa.Time, DemandQPS: pa.Demand,
+			Threshold: pa.Plan.Threshold, DeferFraction: pa.Plan.DeferFraction,
+			LightWorkers: pa.Plan.LightWorkers, HeavyWorkers: pa.Plan.HeavyWorkers,
+			LightBatch: pa.Plan.LightBatch, HeavyBatch: pa.Plan.HeavyBatch,
+			Feasible: pa.Plan.Feasible,
+		})
+	}
+	return report, nil
+}
+
+// Compare runs every headline approach on the same workload and
+// returns the reports in presentation order.
+func Compare(cfg Config) ([]*Report, error) {
+	var out []*Report
+	for _, app := range Approaches() {
+		c := cfg
+		c.Approach = app
+		r, err := Serve(c)
+		if err != nil {
+			return nil, fmt.Errorf("diffserve: %s: %w", app, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// QualityImprovementPct returns the FID improvement of a over b in
+// percent (positive means a is better). NaN inputs yield NaN.
+func QualityImprovementPct(a, b *Report) float64 {
+	if b.FID == 0 || math.IsNaN(a.FID) || math.IsNaN(b.FID) {
+		return math.NaN()
+	}
+	return 100 * (b.FID - a.FID) / b.FID
+}

@@ -1,0 +1,128 @@
+package diffserve
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestServeDefaults(t *testing.T) {
+	report, err := Serve(Config{
+		StaticQPS:            6,
+		TraceDurationSeconds: 40,
+		Workers:              8,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Approach != DiffServe || report.Cascade != "cascade1" {
+		t.Errorf("defaults wrong: %s/%s", report.Approach, report.Cascade)
+	}
+	if report.Queries == 0 {
+		t.Fatal("no queries served")
+	}
+	if math.IsNaN(report.FID) {
+		t.Error("FID missing")
+	}
+	if len(report.Timeline) == 0 || len(report.Plans) == 0 {
+		t.Error("timeline or plans missing")
+	}
+}
+
+func TestServeUnknownCascade(t *testing.T) {
+	if _, err := Serve(Config{Cascade: "cascade9"}); err == nil {
+		t.Error("unknown cascade should fail")
+	}
+}
+
+func TestServeUnknownApproach(t *testing.T) {
+	if _, err := Serve(Config{Approach: "bogus", StaticQPS: 2, TraceDurationSeconds: 10}); err == nil {
+		t.Error("unknown approach should fail")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compare run skipped in -short mode")
+	}
+	reports, err := Compare(Config{
+		TraceMinQPS: 4, TraceMaxQPS: 20,
+		TraceDurationSeconds: 90,
+		Workers:              8,
+		Seed:                 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Approaches()) {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byApp := map[Approach]*Report{}
+	for _, r := range reports {
+		byApp[r.Approach] = r
+	}
+	// DiffServe quality must beat the query-agnostic baselines.
+	dd := byApp[DiffServe]
+	for _, other := range []Approach{ClipperLight, Proteus} {
+		if imp := QualityImprovementPct(dd, byApp[other]); !(imp > 0) {
+			t.Errorf("DiffServe should improve on %s, got %.1f%%", other, imp)
+		}
+	}
+}
+
+func TestQualityImprovementPct(t *testing.T) {
+	a := &Report{FID: 16}
+	b := &Report{FID: 20}
+	if got := QualityImprovementPct(a, b); math.Abs(got-20) > 1e-9 {
+		t.Errorf("improvement = %v, want 20", got)
+	}
+	if !math.IsNaN(QualityImprovementPct(a, &Report{FID: 0})) {
+		t.Error("zero base should be NaN")
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", ExperimentConfig{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Query-aware") {
+		t.Error("table 1 render missing content")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig99", ExperimentConfig{}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunExperimentShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig1b", ExperimentConfig{Short: true, Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1b") {
+		t.Error("fig1b output missing")
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	want := map[string]bool{"fig1a": true, "fig5": true, "table1": true, "all": true, "milp": true, "sim-vs-cluster": true}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for n := range want {
+		if !have[n] {
+			t.Errorf("missing experiment %q", n)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Azure-trace walkthrough: watch DiffServe's controller adapt the
+// confidence threshold and worker split as an Azure Functions-shaped
+// diurnal workload ramps from 4 to 32 QPS and back — the paper's
+// Figure 5 scenario.
+//
+//	go run ./examples/azuretrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffserve"
+)
+
+func main() {
+	report, err := diffserve.Serve(diffserve.Config{
+		Cascade:              "cascade1",
+		Approach:             diffserve.DiffServe,
+		Workers:              16,
+		TraceMinQPS:          4,
+		TraceMaxQPS:          32,
+		TraceDurationSeconds: 360,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("DiffServe on the Azure-shaped trace (cascade 1, SLO 5s)")
+	fmt.Printf("overall: FID %.2f, violations %.3f, deferred %.2f\n\n",
+		report.FID, report.SLOViolationRatio, report.DeferRatio)
+
+	fmt.Println("timeline — demand vs. quality vs. violations:")
+	fmt.Printf("%6s %8s %8s %8s %8s\n", "t(s)", "demand", "FID", "viol", "defer")
+	for _, p := range report.Timeline {
+		fmt.Printf("%6.0f %8.1f %8.2f %8.3f %8.2f\n",
+			p.StartSeconds, p.DemandQPS, p.FID, p.ViolationRatio, p.DeferRatio)
+	}
+
+	fmt.Println("\ncontroller decisions (every 5th plan):")
+	fmt.Printf("%6s %8s %10s %8s %16s\n", "t(s)", "demand", "threshold", "defer", "light/heavy")
+	for i, p := range report.Plans {
+		if i%5 != 0 {
+			continue
+		}
+		fmt.Printf("%6.0f %8.1f %10.3f %8.2f %9dx b%-2d/%dx b%-2d\n",
+			p.TimeSeconds, p.DemandQPS, p.Threshold, p.DeferFraction,
+			p.LightWorkers, p.LightBatch, p.HeavyWorkers, p.HeavyBatch)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: serve a dynamic text-to-image workload with DiffServe
+// and compare it against the all-heavy baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffserve"
+)
+
+func main() {
+	cfg := diffserve.Config{
+		Cascade:              "cascade1", // SD-Turbo cascaded into SDv1.5
+		Workers:              16,
+		TraceMinQPS:          4,
+		TraceMaxQPS:          32,
+		TraceDurationSeconds: 180,
+	}
+
+	cfg.Approach = diffserve.DiffServe
+	ours, err := diffserve.Serve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Approach = diffserve.ClipperHeavy
+	heavy, err := diffserve.Serve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d queries on a %g-%g QPS diurnal trace\n\n",
+		ours.Queries, cfg.TraceMinQPS, cfg.TraceMaxQPS)
+	fmt.Printf("%-14s %8s %12s %10s\n", "approach", "FID", "violations", "deferred")
+	for _, r := range []*diffserve.Report{ours, heavy} {
+		fmt.Printf("%-14s %8.2f %12.3f %10.2f\n",
+			r.Approach, r.FID, r.SLOViolationRatio, r.DeferRatio)
+	}
+	fmt.Printf("\nDiffServe quality improvement over Clipper-Heavy: %.1f%%\n",
+		diffserve.QualityImprovementPct(ours, heavy))
+	fmt.Printf("DiffServe violation reduction: %.1fx\n",
+		heavy.SLOViolationRatio/maxF(ours.SLOViolationRatio, 1e-6))
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package allocator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DeviceClass describes one GPU class in a heterogeneous cluster (the
+// paper's §5 deployment extension). SpeedFactor scales throughput
+// relative to the profiled reference device: an A100-profiled model on
+// a device with SpeedFactor 0.5 executes batches twice as slowly.
+type DeviceClass struct {
+	Name        string
+	Count       int
+	SpeedFactor float64
+}
+
+// HeteroPlan extends Plan with the per-class placement.
+type HeteroPlan struct {
+	Plan
+	// ClassLight[i] and ClassHeavy[i] are the worker counts drawn from
+	// class i for each pool.
+	ClassLight, ClassHeavy []int
+	Classes                []DeviceClass
+}
+
+// HeteroAllocator solves the §5 heterogeneous variant of the DiffServe
+// allocation: maximize the confidence threshold over a cluster of
+// mixed device classes. It extends the homogeneous search with a
+// per-class placement step: for a candidate threshold and batch pair,
+// classes are assigned to the heavy pool fastest-first (the heavy
+// model's long execution dominates the latency budget, so it benefits
+// most from fast devices), with the latency constraint evaluated at
+// the slowest device class actually used by each pool.
+type HeteroAllocator struct {
+	cfg     Config
+	classes []DeviceClass
+}
+
+// NewHetero builds the heterogeneous allocator. cfg.TotalWorkers is
+// ignored; capacity comes from the device classes.
+func NewHetero(cfg Config, classes []DeviceClass) (*HeteroAllocator, error) {
+	cfg.TotalWorkers = 1 // satisfy base validation; unused afterwards
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("allocator: need at least one device class")
+	}
+	total := 0
+	for i, c := range classes {
+		if c.Count <= 0 {
+			return nil, fmt.Errorf("allocator: class %d (%s) has non-positive count", i, c.Name)
+		}
+		if c.SpeedFactor <= 0 {
+			return nil, fmt.Errorf("allocator: class %d (%s) has non-positive speed", i, c.Name)
+		}
+		total += c.Count
+	}
+	out := &HeteroAllocator{cfg: cfg.withDefaults(), classes: append([]DeviceClass(nil), classes...)}
+	out.cfg.TotalWorkers = total
+	// Fastest classes first: the assignment loops below consume them
+	// in order for the heavy pool.
+	sort.SliceStable(out.classes, func(i, j int) bool {
+		return out.classes[i].SpeedFactor > out.classes[j].SpeedFactor
+	})
+	return out, nil
+}
+
+// Name implements Allocator.
+func (a *HeteroAllocator) Name() string { return "diffserve-hetero" }
+
+// Classes returns the device classes, fastest first.
+func (a *HeteroAllocator) Classes() []DeviceClass {
+	return append([]DeviceClass(nil), a.classes...)
+}
+
+// Allocate implements Allocator, returning the aggregated plan. Use
+// AllocateHetero for the per-class placement.
+func (a *HeteroAllocator) Allocate(obs Observation) (Plan, error) {
+	hp, err := a.AllocateHetero(obs)
+	if err != nil {
+		return Plan{}, err
+	}
+	return hp.Plan, nil
+}
+
+// AllocateHetero computes the per-class allocation.
+func (a *HeteroAllocator) AllocateHetero(obs Observation) (HeteroPlan, error) {
+	start := time.Now()
+	c := &a.cfg
+	demand := math.Max(obs.Demand, 0) * c.OverProvision
+	ts, fs := thresholdGrid(c)
+	lightBs, heavyBs := batchCandidates(c)
+
+	best := HeteroPlan{Classes: a.Classes()}
+	found := false
+	for j := len(ts) - 1; j >= 0 && !found; j-- {
+		for _, b1 := range lightBs {
+			for _, b2 := range heavyBs {
+				hp, ok := a.place(obs, demand, fs[j], b1, b2)
+				if !ok {
+					continue
+				}
+				hp.Threshold = ts[j]
+				hp.DeferFraction = fs[j]
+				hp.Feasible = true
+				best = hp
+				found = true
+				break
+			}
+			if found {
+				break
+			}
+		}
+	}
+	if !found {
+		best.Plan = bestEffortPlan(c)
+		// Best effort: every device serves the light model.
+		best.ClassLight = make([]int, len(a.classes))
+		best.ClassHeavy = make([]int, len(a.classes))
+		light := 0
+		for i, cl := range a.classes {
+			best.ClassLight[i] = cl.Count
+			light += cl.Count
+		}
+		best.LightWorkers = light
+		best.HeavyWorkers = 0
+	}
+	best.SolveTime = time.Since(start)
+	best.Classes = a.Classes()
+	return best, nil
+}
+
+// place greedily assigns device classes for a fixed (f, b1, b2):
+// heavy pool takes the fastest devices first, the light pool fills
+// from the remainder slowest-first (the light model is cheap enough
+// that slow devices still clear its latency budget). Returns false
+// when capacity or latency cannot be met.
+func (a *HeteroAllocator) place(obs Observation, demand, f float64, b1, b2 int) (HeteroPlan, bool) {
+	c := &a.cfg
+	n := len(a.classes)
+	hp := HeteroPlan{
+		Plan:       Plan{LightBatch: b1, HeavyBatch: b2},
+		ClassLight: make([]int, n),
+		ClassHeavy: make([]int, n),
+	}
+	avail := make([]int, n)
+	for i, cl := range a.classes {
+		avail[i] = cl.Count
+	}
+
+	// Heavy pool: fastest classes first.
+	needHeavy := demand * f
+	slowestHeavy := 0.0
+	for i := 0; i < n && needHeavy > 1e-12; i++ {
+		perWorker := heavyThroughput(c, b2) * a.classes[i].SpeedFactor
+		take := int(math.Ceil(needHeavy / perWorker))
+		if take > avail[i] {
+			take = avail[i]
+		}
+		if take == 0 {
+			continue
+		}
+		hp.ClassHeavy[i] = take
+		avail[i] -= take
+		needHeavy -= float64(take) * perWorker
+		slowestHeavy = a.classes[i].SpeedFactor
+	}
+	if needHeavy > 1e-12 {
+		return hp, false
+	}
+
+	// Light pool: slowest classes first, preserving fast devices.
+	needLight := math.Max(demand, 1e-12)
+	slowestLight := 0.0
+	for i := n - 1; i >= 0 && needLight > 0; i-- {
+		perWorker := lightThroughput(c, b1) * a.classes[i].SpeedFactor
+		take := int(math.Ceil(needLight / perWorker))
+		if take > avail[i] {
+			take = avail[i]
+		}
+		if take == 0 {
+			continue
+		}
+		hp.ClassLight[i] = take
+		avail[i] -= take
+		needLight -= float64(take) * perWorker
+		if slowestLight == 0 || a.classes[i].SpeedFactor < slowestLight {
+			slowestLight = a.classes[i].SpeedFactor
+		}
+	}
+	if needLight > 1e-12 {
+		return hp, false
+	}
+	if slowestLight == 0 { // no light workers assigned: keep one warm
+		i := n - 1
+		if avail[i] == 0 {
+			for i = n - 1; i >= 0 && avail[i] == 0; i-- {
+			}
+			if i < 0 {
+				return hp, false
+			}
+		}
+		hp.ClassLight[i] = 1
+		avail[i]--
+		slowestLight = a.classes[i].SpeedFactor
+	}
+
+	// Latency (Eq. 1) at the slowest class used by each pool.
+	q1, q2 := queueDelays(c, obs, b1, b2)
+	lat := lightExec(c, b1)/slowestLight + q1
+	if f > 0 {
+		lat += heavyExec(c, b2)/slowestHeavy + q2
+	}
+	if lat > c.SLO {
+		return hp, false
+	}
+
+	for i := range a.classes {
+		hp.LightWorkers += hp.ClassLight[i]
+		hp.HeavyWorkers += hp.ClassHeavy[i]
+	}
+	return hp, true
+}

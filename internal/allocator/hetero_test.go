@@ -1,0 +1,188 @@
+package allocator
+
+import (
+	"testing"
+)
+
+func heteroClasses() []DeviceClass {
+	return []DeviceClass{
+		{Name: "a100", Count: 8, SpeedFactor: 1.0},
+		{Name: "v100", Count: 8, SpeedFactor: 0.5},
+	}
+}
+
+func TestNewHeteroValidation(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	if _, err := NewHetero(cfg, nil); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := NewHetero(cfg, []DeviceClass{{Name: "x", Count: 0, SpeedFactor: 1}}); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := NewHetero(cfg, []DeviceClass{{Name: "x", Count: 1, SpeedFactor: 0}}); err == nil {
+		t.Error("zero speed should fail")
+	}
+	a, err := NewHetero(cfg, heteroClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "diffserve-hetero" {
+		t.Errorf("name = %q", a.Name())
+	}
+	// Classes sorted fastest first.
+	cls := a.Classes()
+	if cls[0].SpeedFactor < cls[1].SpeedFactor {
+		t.Error("classes not sorted by speed")
+	}
+}
+
+func TestHeteroPlanFeasibleAndConsistent(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	a, err := NewHetero(cfg, heteroClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, demand := range []float64{2, 8, 16, 24} {
+		hp, err := a.AllocateHetero(Observation{Demand: demand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hp.Feasible {
+			t.Fatalf("demand %v: expected feasible plan, got %v", demand, hp.Plan)
+		}
+		// Per-class counts sum to the aggregated counts and respect
+		// class capacity.
+		light, heavy := 0, 0
+		for i, cl := range hp.Classes {
+			if hp.ClassLight[i] < 0 || hp.ClassHeavy[i] < 0 {
+				t.Fatalf("negative class counts: %+v", hp)
+			}
+			if hp.ClassLight[i]+hp.ClassHeavy[i] > cl.Count {
+				t.Fatalf("class %s over-allocated: %d+%d > %d",
+					cl.Name, hp.ClassLight[i], hp.ClassHeavy[i], cl.Count)
+			}
+			light += hp.ClassLight[i]
+			heavy += hp.ClassHeavy[i]
+		}
+		if light != hp.LightWorkers || heavy != hp.HeavyWorkers {
+			t.Fatalf("aggregate mismatch: %d/%d vs %d/%d", light, heavy, hp.LightWorkers, hp.HeavyWorkers)
+		}
+		// Speed-weighted capacity must satisfy the demands.
+		lightCap, heavyCap := 0.0, 0.0
+		for i, cl := range hp.Classes {
+			lightCap += float64(hp.ClassLight[i]) * lightThroughput(&a.cfg, hp.LightBatch) * cl.SpeedFactor
+			heavyCap += float64(hp.ClassHeavy[i]) * heavyThroughput(&a.cfg, hp.HeavyBatch) * cl.SpeedFactor
+		}
+		d := demand * a.cfg.OverProvision
+		if lightCap+1e-9 < d {
+			t.Errorf("demand %v: light capacity %v < %v", demand, lightCap, d)
+		}
+		if heavyCap+1e-9 < d*hp.DeferFraction {
+			t.Errorf("demand %v: heavy capacity %v < %v", demand, heavyCap, d*hp.DeferFraction)
+		}
+	}
+}
+
+func TestHeteroPrefersFastDevicesForHeavyPool(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	a, err := NewHetero(cfg, heteroClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := a.AllocateHetero(Observation{Demand: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 is the fast one after sorting: the heavy pool should be
+	// drawn from it before touching slow devices.
+	if hp.ClassHeavy[0] == 0 {
+		t.Errorf("heavy pool ignored the fast class: %+v", hp)
+	}
+	if hp.ClassHeavy[1] > 0 && hp.ClassHeavy[0] < hp.Classes[0].Count {
+		t.Errorf("heavy pool used slow devices before exhausting fast ones: %+v", hp)
+	}
+}
+
+func TestHeteroMatchesHomogeneousWhenUniform(t *testing.T) {
+	// A single class at speed 1.0 must reproduce the homogeneous
+	// allocator's threshold.
+	cfg := buildConfig(t, 16, 5)
+	hetero, err := NewHetero(cfg, []DeviceClass{{Name: "a100", Count: 16, SpeedFactor: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, demand := range []float64{4, 12, 24} {
+		hp, err := hetero.Allocate(Observation{Demand: demand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := homo.Allocate(Observation{Demand: demand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp.Feasible != gp.Feasible || hp.Threshold != gp.Threshold {
+			t.Errorf("demand %v: hetero %v vs homogeneous %v", demand, hp, gp)
+		}
+	}
+}
+
+func TestHeteroSlowClusterLowersThreshold(t *testing.T) {
+	// Halving every device's speed must not raise the threshold; at
+	// high demand it must lower it (less effective capacity).
+	cfg := buildConfig(t, 16, 5)
+	fast, err := NewHetero(cfg, []DeviceClass{{Name: "a100", Count: 16, SpeedFactor: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewHetero(cfg, []DeviceClass{{Name: "old", Count: 16, SpeedFactor: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, demand := range []float64{8, 16, 24} {
+		fp, err := fast.Allocate(Observation{Demand: demand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := slow.Allocate(Observation{Demand: demand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Threshold > fp.Threshold+1e-9 {
+			t.Errorf("demand %v: slow cluster threshold %v exceeds fast %v", demand, sp.Threshold, fp.Threshold)
+		}
+	}
+	// Overload: the slow cluster must hit best-effort sooner.
+	sp, err := slow.Allocate(Observation{Demand: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Feasible {
+		t.Errorf("150 QPS on a half-speed cluster should be infeasible: %v", sp)
+	}
+}
+
+func TestHeteroBestEffortUsesAllDevices(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	a, err := NewHetero(cfg, heteroClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := a.AllocateHetero(Observation{Demand: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Feasible {
+		t.Fatal("1000 QPS should be infeasible")
+	}
+	total := 0
+	for i := range hp.Classes {
+		total += hp.ClassLight[i]
+	}
+	if total != 16 || hp.HeavyWorkers != 0 {
+		t.Errorf("best effort should go all-light on every device: %+v", hp)
+	}
+}

@@ -1,0 +1,405 @@
+package allocator
+
+import (
+	"math"
+	"time"
+
+	"diffserve/internal/milp"
+)
+
+// MILPAllocator is the DiffServe resource allocator: it formulates the
+// paper's optimization (maximize the confidence threshold subject to
+// latency, throughput, and budget constraints) as a mixed-integer
+// linear program and solves it with the internal branch-and-bound
+// solver.
+type MILPAllocator struct {
+	cfg Config
+}
+
+// NewMILP constructs the DiffServe MILP allocator.
+func NewMILP(cfg Config) (*MILPAllocator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &MILPAllocator{cfg: cfg.withDefaults()}, nil
+}
+
+// Name implements Allocator.
+func (a *MILPAllocator) Name() string { return "diffserve-milp" }
+
+// Config returns the allocator's effective configuration.
+func (a *MILPAllocator) Config() Config { return a.cfg }
+
+// Allocate implements Allocator.
+//
+// The paper's optimization maximizes the confidence threshold t
+// subject to Eqs. 1-4. Feasibility is monotone in t (a higher
+// threshold only increases the heavy pool's required throughput), so
+// the allocator binary-searches the discretized threshold grid; each
+// candidate threshold yields a mixed-integer subproblem over
+//
+//	w1[b]  (|B1| integers) — light workers running batch b
+//	w2[b]  (|B2| integers) — heavy workers running batch b
+//	y1[b]  (|B1| binaries) — light batch selector
+//	y2[b]  (|B2| binaries) — heavy batch selector
+//	h      (continuous)    — normalized capacity headroom
+//
+// solved by the internal branch-and-bound solver. The single-batch-
+// size-per-pool rule is enforced by w_i[b] <= S·y_i[b] and sum y_i = 1;
+// worker-count products x_i·T_i(b_i) linearize as sum_b w_i[b]·T_i(b);
+// the latency constraint selects per-batch execution+queueing costs
+// through the y binaries. Within each subproblem the objective
+// maximizes the minimum normalized capacity headroom h
+// (sum w1·T1 >= h·D and sum w2·T2 >= h·f·D), which co-optimizes batch
+// sizes for throughput and spreads every available worker across the
+// pools so neither runs at razor-thin utilization.
+func (a *MILPAllocator) Allocate(obs Observation) (Plan, error) {
+	start := time.Now()
+	c := &a.cfg
+	demand := math.Max(obs.Demand, 0) * c.OverProvision
+	ts, fs := thresholdGrid(c)
+
+	// Binary search the largest feasible threshold index. Feasibility
+	// is monotone non-increasing in the index.
+	solve := func(j int) (Plan, bool, error) {
+		return a.solveAtThreshold(obs, demand, ts[j], fs[j])
+	}
+	loPlan, loOK, err := solve(0)
+	if err != nil {
+		return Plan{}, err
+	}
+	if !loOK {
+		p := bestEffortPlan(c)
+		p.SolveTime = time.Since(start)
+		return p, nil
+	}
+	bestPlan := loPlan
+	if hiPlan, hiOK, err := solve(len(ts) - 1); err != nil {
+		return Plan{}, err
+	} else if hiOK {
+		bestPlan = hiPlan
+	} else {
+		lo, hi := 0, len(ts)-1 // feasible at lo, infeasible at hi
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			midPlan, midOK, err := solve(mid)
+			if err != nil {
+				return Plan{}, err
+			}
+			if midOK {
+				lo = mid
+				bestPlan = midPlan
+			} else {
+				hi = mid
+			}
+		}
+	}
+	bestPlan.SolveTime = time.Since(start)
+	return bestPlan, nil
+}
+
+// solveAtThreshold solves the fixed-threshold MILP subproblem.
+func (a *MILPAllocator) solveAtThreshold(obs Observation, demand, t, f float64) (Plan, bool, error) {
+	c := &a.cfg
+	lightBs, heavyBs := batchCandidates(c)
+	nB1, nB2 := len(lightBs), len(heavyBs)
+	// Variable layout offsets.
+	w1 := 0
+	w2 := w1 + nB1
+	y1 := w2 + nB2
+	y2 := y1 + nB1
+	h := y2 + nB2
+	nVars := h + 1
+
+	S := float64(c.TotalWorkers)
+	obj := make([]float64, nVars)
+	obj[h] = 1
+	// Tiny bonus per allocated worker so spare devices beyond the
+	// headroom cap still get used, weighted against the heavy pool so
+	// ties leave capacity on the cheap pool.
+	for b := 0; b < nB1; b++ {
+		obj[w1+b] = 1e-4
+	}
+	for b := 0; b < nB2; b++ {
+		obj[w2+b] = 9e-5
+	}
+
+	upper := make([]float64, nVars)
+	integer := make([]bool, nVars)
+	for b := 0; b < nB1; b++ {
+		upper[w1+b] = S
+		integer[w1+b] = true
+		upper[y1+b] = 1
+		integer[y1+b] = true
+	}
+	for b := 0; b < nB2; b++ {
+		upper[w2+b] = S
+		integer[w2+b] = true
+		upper[y2+b] = 1
+		integer[y2+b] = true
+	}
+	upper[h] = 20 // cap headroom so the LP stays bounded
+
+	var cons []milp.Constraint
+	row := func() []float64 { return make([]float64, nVars) }
+
+	// sum_b y1[b] == 1 and sum_b y2[b] == 1.
+	r := row()
+	for b := 0; b < nB1; b++ {
+		r[y1+b] = 1
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.EQ, RHS: 1, Name: "one-light-batch"})
+	r = row()
+	for b := 0; b < nB2; b++ {
+		r[y2+b] = 1
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.EQ, RHS: 1, Name: "one-heavy-batch"})
+
+	// w_i[b] <= S * y_i[b]: workers only on the selected batch size.
+	for b := 0; b < nB1; b++ {
+		r = row()
+		r[w1+b] = 1
+		r[y1+b] = -S
+		cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.LE, RHS: 0, Name: "light-batch-link"})
+	}
+	for b := 0; b < nB2; b++ {
+		r = row()
+		r[w2+b] = 1
+		r[y2+b] = -S
+		cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.LE, RHS: 0, Name: "heavy-batch-link"})
+	}
+
+	// Light throughput (Eq. 2): sum_b w1[b]·T1(b) >= D'.
+	r = row()
+	for b, bs := range lightBs {
+		r[w1+b] = lightThroughput(c, bs)
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: demand, Name: "light-throughput"})
+
+	// Keep at least one light worker warm so arrivals always have an
+	// entry point even when the demand estimate dips to zero.
+	r = row()
+	for b := 0; b < nB1; b++ {
+		r[w1+b] = 1
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 1, Name: "min-light"})
+
+	// Heavy throughput (Eq. 3): sum_b w2[b]·T2(b) >= D'·f.
+	r = row()
+	for b, bs := range heavyBs {
+		r[w2+b] = heavyThroughput(c, bs)
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: demand * f, Name: "heavy-throughput"})
+
+	// Budget (Eq. 4): sum w1 + sum w2 <= S.
+	r = row()
+	for b := 0; b < nB1; b++ {
+		r[w1+b] = 1
+	}
+	for b := 0; b < nB2; b++ {
+		r[w2+b] = 1
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.LE, RHS: S, Name: "budget"})
+
+	// Latency (Eq. 1): sum_b y1[b]·(e1+q1)(b) + sum_b y2[b]·(e2+q2)(b) <= L.
+	r = row()
+	for b, bs := range lightBs {
+		q1, _ := queueDelays(c, obs, bs, heavyBs[0])
+		r[y1+b] = lightExec(c, bs) + q1
+	}
+	for b, bs := range heavyBs {
+		_, q2 := queueDelays(c, obs, lightBs[0], bs)
+		r[y2+b] = heavyExec(c, bs) + q2
+	}
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.LE, RHS: c.SLO, Name: "latency"})
+
+	// Headroom rows: sum w1·T1 >= h·D and sum w2·T2 >= h·f·D.
+	r = row()
+	for b, bs := range lightBs {
+		r[w1+b] = lightThroughput(c, bs)
+	}
+	r[h] = -math.Max(demand, 0.5)
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 0, Name: "light-headroom"})
+	if demand*f > 0 {
+		r = row()
+		for b, bs := range heavyBs {
+			r[w2+b] = heavyThroughput(c, bs)
+		}
+		r[h] = -demand * f
+		cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 0, Name: "heavy-headroom"})
+	}
+
+	prob := &milp.Problem{
+		Sense:       milp.Maximize,
+		Objective:   obj,
+		Constraints: cons,
+		Upper:       upper,
+		Integer:     integer,
+		Initial:     a.warmStart(obs, demand, f, nVars, w1, w2, y1, y2, h),
+	}
+	sol, err := milp.Solve(prob)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	if sol.Status != milp.StatusOptimal {
+		return Plan{}, false, nil
+	}
+
+	plan := Plan{Feasible: true, Threshold: t, DeferFraction: f}
+	for b, bs := range lightBs {
+		if sol.X[y1+b] > 0.5 {
+			plan.LightBatch = bs
+		}
+		plan.LightWorkers += int(math.Round(sol.X[w1+b]))
+	}
+	for b, bs := range heavyBs {
+		if sol.X[y2+b] > 0.5 {
+			plan.HeavyBatch = bs
+		}
+		plan.HeavyWorkers += int(math.Round(sol.X[w2+b]))
+	}
+	return plan, true, nil
+}
+
+// warmStart builds an analytic candidate solution for the fixed-
+// threshold subproblem — the greedy allocation the grid solver would
+// produce, with leftover workers distributed to balance headroom.
+// A feasible warm start lets branch-and-bound prune from node one;
+// returning nil (no feasible greedy point) is harmless.
+func (a *MILPAllocator) warmStart(obs Observation, demand, f float64, nVars, w1, w2, y1, y2, h int) []float64 {
+	c := &a.cfg
+	lightBs, heavyBs := batchCandidates(c)
+	bestH := -1.0
+	var best []float64
+	for bi1, b1 := range lightBs {
+		for bi2, b2 := range heavyBs {
+			q1, q2 := queueDelays(c, obs, b1, b2)
+			if lightExec(c, b1)+q1+heavyExec(c, b2)+q2 > c.SLO {
+				continue
+			}
+			t1, t2 := lightThroughput(c, b1), heavyThroughput(c, b2)
+			x1 := int(math.Ceil(demand / t1))
+			if x1 < 1 {
+				x1 = 1
+			}
+			x2 := 0
+			if demand*f > 0 {
+				x2 = int(math.Ceil(demand * f / t2))
+			}
+			if x1+x2 > c.TotalWorkers {
+				continue
+			}
+			// Distribute spare workers to the pool with less headroom.
+			dl := math.Max(demand, 0.5)
+			dh := demand * f
+			for spare := c.TotalWorkers - x1 - x2; spare > 0; spare-- {
+				hl := float64(x1) * t1 / dl
+				hh := math.Inf(1)
+				if dh > 0 {
+					hh = float64(x2) * t2 / dh
+				}
+				if hh < hl {
+					x2++
+				} else {
+					x1++
+				}
+			}
+			hl := float64(x1) * t1 / dl
+			hh := math.Inf(1)
+			if dh > 0 {
+				hh = float64(x2) * t2 / dh
+			}
+			hv := math.Min(20, math.Min(hl, hh))
+			if hv > bestH {
+				bestH = hv
+				x := make([]float64, nVars)
+				x[w1+bi1] = float64(x1)
+				x[w2+bi2] = float64(x2)
+				x[y1+bi1] = 1
+				x[y2+bi2] = 1
+				x[h] = hv
+				best = x
+			}
+		}
+	}
+	return best
+}
+
+// GridAllocator solves the same optimization by exhaustive enumeration
+// of (threshold, light batch, heavy batch) with analytically minimal
+// worker counts. It exists to cross-validate the MILP formulation and
+// as the ablation comparator for solver strategy.
+type GridAllocator struct {
+	cfg Config
+}
+
+// NewGrid constructs the exhaustive-search allocator.
+func NewGrid(cfg Config) (*GridAllocator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &GridAllocator{cfg: cfg.withDefaults()}, nil
+}
+
+// Name implements Allocator.
+func (a *GridAllocator) Name() string { return "diffserve-grid" }
+
+// Allocate implements Allocator.
+func (a *GridAllocator) Allocate(obs Observation) (Plan, error) {
+	start := time.Now()
+	c := &a.cfg
+	demand := math.Max(obs.Demand, 0) * c.OverProvision
+	lightBs, heavyBs := batchCandidates(c)
+	ts, fs := thresholdGrid(c)
+
+	best := Plan{Feasible: false}
+	found := false
+	// Scan thresholds descending: the first feasible is optimal in t;
+	// among equal t prefer fewer heavy workers (matching the MILP
+	// tie-break).
+	for j := len(ts) - 1; j >= 0 && !found; j-- {
+		type cand struct {
+			plan  Plan
+			heavy int
+		}
+		var bestCand *cand
+		for _, b1 := range lightBs {
+			for _, b2 := range heavyBs {
+				q1, q2 := queueDelays(c, obs, b1, b2)
+				if lightExec(c, b1)+q1+heavyExec(c, b2)+q2 > c.SLO+1e-12 {
+					continue
+				}
+				x1 := int(math.Ceil(demand / lightThroughput(c, b1)))
+				if x1 < 1 {
+					x1 = 1
+				}
+				need := demand * fs[j]
+				x2 := 0
+				if need > 0 {
+					x2 = int(math.Ceil(need / heavyThroughput(c, b2)))
+				}
+				if x1+x2 > c.TotalWorkers {
+					continue
+				}
+				p := Plan{
+					Threshold: ts[j], DeferFraction: fs[j],
+					LightWorkers: x1, HeavyWorkers: x2,
+					LightBatch: b1, HeavyBatch: b2,
+					Feasible: true,
+				}
+				if bestCand == nil || x2 < bestCand.heavy {
+					bestCand = &cand{plan: p, heavy: x2}
+				}
+			}
+		}
+		if bestCand != nil {
+			best = bestCand.plan
+			found = true
+		}
+	}
+	if !found {
+		best = bestEffortPlan(c)
+	}
+	best.SolveTime = time.Since(start)
+	return best, nil
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"diffserve/internal/allocator"
+	"diffserve/internal/controller"
+	"diffserve/internal/loadbalancer"
+)
+
+// ControllerConfig parameterizes the cluster controller process.
+type ControllerConfig struct {
+	// Ctrl owns the allocator and demand estimation.
+	Ctrl *controller.Controller
+	// LBURL is the load balancer's base URL.
+	LBURL string
+	// WorkerURLs are the workers' base URLs.
+	WorkerURLs []string
+	// Mode mirrors the LB's routing policy (decides whether plans set
+	// a threshold or a split probability).
+	Mode loadbalancer.Mode
+	// Clock provides trace time.
+	Clock *Clock
+}
+
+// ControllerLoop polls runtime statistics, re-solves allocation, and
+// pushes plans — the cluster analogue of the simulator's control tick.
+type ControllerLoop struct {
+	cfg      ControllerConfig
+	client   *http.Client
+	plans    []controller.PlanAt
+	lastTick float64
+	// assigned caches the last role pushed to each worker so ticks do
+	// not need a per-worker stats round-trip.
+	assigned []string
+}
+
+// NewControllerLoop constructs the control loop.
+func NewControllerLoop(cfg ControllerConfig) *ControllerLoop {
+	return &ControllerLoop{cfg: cfg, client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Plans returns the plans applied so far.
+func (c *ControllerLoop) Plans() []controller.PlanAt { return c.cfg.Ctrl.Plans() }
+
+// Run executes control ticks every controller interval (trace time)
+// until the context is cancelled. Each tick (stats poll + MILP solve +
+// plan push) runs asynchronously with at most one in flight, so solver
+// time stays off the control cadence — the paper's design: "the MILP
+// is called asynchronously and its execution is in the control path".
+func (c *ControllerLoop) Run(ctx context.Context) {
+	var busy int32
+	for ctx.Err() == nil {
+		if atomic.CompareAndSwapInt32(&busy, 0, 1) {
+			go func() {
+				defer atomic.StoreInt32(&busy, 0)
+				c.TickOnce()
+			}()
+		}
+		c.cfg.Clock.SleepTrace(c.cfg.Ctrl.Interval())
+	}
+}
+
+// TickOnce performs one control period: poll stats, solve, push.
+func (c *ControllerLoop) TickOnce() {
+	var lbStats LBStats
+	if err := getJSON(c.client, c.cfg.LBURL+"/stats", &lbStats); err != nil {
+		return // transient poll failure: keep the previous plan
+	}
+	elapsed := lbStats.Now - c.lastTick
+	c.lastTick = lbStats.Now
+	plan, err := c.cfg.Ctrl.Tick(lbStats.Now, controller.TickInput{
+		Arrivals:         lbStats.ArrivalsSinceTick,
+		ElapsedSeconds:   elapsed,
+		LightQueueLen:    lbStats.LightQueueLen,
+		HeavyQueueLen:    lbStats.HeavyQueueLen,
+		LightArrivalRate: lbStats.LightArrivalRate,
+		HeavyArrivalRate: lbStats.HeavyArrivalRate,
+		SLOTimeouts:      lbStats.TimeoutsSinceTick,
+	})
+	if err != nil {
+		return
+	}
+	c.Apply(plan)
+}
+
+// Apply pushes a plan to the LB and workers. Worker role assignment
+// prefers keeping existing roles (queried via /stats) to minimize
+// model reloads.
+func (c *ControllerLoop) Apply(plan allocator.Plan) {
+	// Configure the LB policy first so new completions observe the
+	// fresh threshold.
+	split := 0.0
+	if c.cfg.Mode == loadbalancer.ModeRandomSplit {
+		split = plan.DeferFraction
+	}
+	_ = postJSON(c.client, c.cfg.LBURL+"/configure", ConfigureLBRequest{
+		Threshold: plan.Threshold,
+		SplitProb: split,
+	}, nil)
+
+	// Current roles come from the assignment cache (the controller is
+	// the only writer of worker roles, so the cache is authoritative
+	// and avoids a per-worker stats round-trip each tick).
+	if len(c.assigned) != len(c.cfg.WorkerURLs) {
+		c.assigned = make([]string, len(c.cfg.WorkerURLs))
+		for i := range c.assigned {
+			c.assigned[i] = "idle"
+		}
+	}
+
+	needLight, needHeavy := plan.LightWorkers, plan.HeavyWorkers
+	if needLight+needHeavy > len(c.assigned) {
+		needHeavy = len(c.assigned) - needLight
+		if needHeavy < 0 {
+			needLight, needHeavy = len(c.assigned), 0
+		}
+	}
+	next := make([]string, len(c.assigned))
+	light, heavy := 0, 0
+	// Keep matching roles in place to minimize model reloads.
+	for i, role := range c.assigned {
+		switch {
+		case role == "light" && light < needLight:
+			next[i] = "light"
+			light++
+		case role == "heavy" && heavy < needHeavy:
+			next[i] = "heavy"
+			heavy++
+		}
+	}
+	for i := range next {
+		if next[i] != "" {
+			continue
+		}
+		switch {
+		case light < needLight:
+			next[i] = "light"
+			light++
+		case heavy < needHeavy:
+			next[i] = "heavy"
+			heavy++
+		default:
+			next[i] = "idle"
+		}
+	}
+	for i, u := range c.cfg.WorkerURLs {
+		batch := plan.LightBatch
+		if next[i] == "heavy" {
+			batch = plan.HeavyBatch
+		}
+		_ = postJSON(c.client, u+"/configure", ConfigureWorkerRequest{
+			Role: next[i], Batch: batch,
+		}, nil)
+	}
+	c.assigned = next
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"diffserve/internal/controller"
+	"diffserve/internal/discriminator"
+	"diffserve/internal/fid"
+	"diffserve/internal/imagespace"
+	"diffserve/internal/loadbalancer"
+	"diffserve/internal/metrics"
+	"diffserve/internal/model"
+	"diffserve/internal/stats"
+	"diffserve/internal/trace"
+)
+
+// HarnessConfig assembles an in-process cluster: LB + workers +
+// controller on loopback HTTP, driven by a trace-replaying client.
+// The same servers back the standalone cmd/ binaries; the harness
+// exists so tests and the simulator-vs-cluster experiment can run the
+// full network path in one process.
+type HarnessConfig struct {
+	Space        *imagespace.Space
+	Light, Heavy *model.Variant
+	Scorer       discriminator.Scorer
+	Mode         loadbalancer.Mode
+	Workers      int
+	SLO          float64
+	Trace        *trace.Trace
+	// Ctrl owns the allocator; a fresh controller per run.
+	Ctrl *controller.Controller
+	// Timescale compresses trace time: 0.02 replays at 50x.
+	Timescale float64
+	// Seed drives arrival synthesis and random routing.
+	Seed uint64
+	// DisableLoadDelay makes model switches instantaneous.
+	DisableLoadDelay bool
+	// QueryIDBase offsets query IDs.
+	QueryIDBase int
+}
+
+func (c *HarnessConfig) validate() error {
+	switch {
+	case c.Space == nil || c.Light == nil || c.Heavy == nil:
+		return fmt.Errorf("cluster: space and variants required")
+	case c.Workers <= 0:
+		return fmt.Errorf("cluster: workers must be positive")
+	case c.SLO <= 0:
+		return fmt.Errorf("cluster: SLO must be positive")
+	case c.Trace == nil:
+		return fmt.Errorf("cluster: trace required")
+	case c.Ctrl == nil:
+		return fmt.Errorf("cluster: controller required")
+	case c.Scorer == nil && c.Mode == loadbalancer.ModeCascade:
+		return fmt.Errorf("cluster: scorer required in cascade mode")
+	}
+	return nil
+}
+
+// Result is the outcome of a harness run.
+type Result struct {
+	Collector *metrics.Collector
+	Reference *fid.Reference
+	Plans     []controller.PlanAt
+	Queries   int
+	// WallSeconds is the real elapsed time.
+	WallSeconds float64
+}
+
+// Summary computes the end-to-end summary against the run's reference.
+func (r *Result) Summary() metrics.Summary { return r.Collector.Summarize(r.Reference) }
+
+// Run executes the full trace through the in-process cluster.
+func Run(cfg HarnessConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Timescale <= 0 {
+		cfg.Timescale = 0.02
+	}
+	wallStart := time.Now()
+	clock := NewClock(cfg.Timescale)
+	rng := stats.NewRNG(cfg.Seed)
+
+	discLat := 0.0
+	if cfg.Scorer != nil && cfg.Mode == loadbalancer.ModeCascade {
+		discLat = cfg.Scorer.PerImageLatency()
+	}
+	lb := NewLBServer(LBConfig{
+		Mode: cfg.Mode, SLO: cfg.SLO,
+		LightMinExec: cfg.Light.Latency.Latency(1) + discLat,
+		HeavyMinExec: cfg.Heavy.Latency.Latency(1),
+		Clock:        clock, Seed: cfg.Seed,
+	})
+	lbSrv := httptest.NewServer(lb.Mux())
+	defer lbSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var scorer discriminator.Scorer
+	if cfg.Mode == loadbalancer.ModeCascade {
+		scorer = cfg.Scorer
+	}
+	workerURLs := make([]string, cfg.Workers)
+	var workerSrvs []*httptest.Server
+	for i := 0; i < cfg.Workers; i++ {
+		ws := NewWorkerServer(WorkerConfig{
+			ID: i, LBURL: lbSrv.URL,
+			Space: cfg.Space, Light: cfg.Light, Heavy: cfg.Heavy,
+			Scorer: scorer, Clock: clock,
+			DisableLoadDelay: cfg.DisableLoadDelay,
+		})
+		srv := httptest.NewServer(ws.Mux())
+		workerSrvs = append(workerSrvs, srv)
+		workerURLs[i] = srv.URL
+		go ws.Loop(ctx)
+	}
+	defer func() {
+		for _, s := range workerSrvs {
+			s.Close()
+		}
+	}()
+
+	loop := NewControllerLoop(ControllerConfig{
+		Ctrl: cfg.Ctrl, LBURL: lbSrv.URL, WorkerURLs: workerURLs,
+		Mode: cfg.Mode, Clock: clock,
+	})
+	// Initial plan from the trace's starting rate, then periodic ticks.
+	initialPlan, err := cfg.Ctrl.Tick(0, controller.TickInput{
+		Arrivals: int(math.Round(cfg.Trace.RateAt(0) * cfg.Ctrl.Interval())),
+	})
+	if err != nil {
+		return nil, err
+	}
+	loop.Apply(initialPlan)
+	go loop.Run(ctx)
+
+	// Setup is done (servers up, initial plan applied): rewind trace
+	// time so setup cost does not eat into the replay.
+	clock.Restart()
+
+	// Replay the trace: one goroutine per query, submitted at its
+	// arrival time.
+	arrivals := cfg.Trace.Arrivals(rng.Stream("trace"))
+	realFeats := make([][]float64, len(arrivals))
+	client := &http.Client{Timeout: 5 * time.Minute}
+	var wg sync.WaitGroup
+	for i, at := range arrivals {
+		id := cfg.QueryIDBase + i
+		q := cfg.Space.SampleQuery(id)
+		realFeats[i] = cfg.Space.RealImage(q)
+		wg.Add(1)
+		go func(id int, at float64) {
+			defer wg.Done()
+			clock.SleepTrace(at - clock.Now())
+			var resp QueryResponse
+			_ = postJSON(client, lbSrv.URL+"/query", QueryMsg{ID: id, Arrival: at}, &resp)
+		}(id, at)
+	}
+
+	// Wait for the trace plus a drain grace, then shed leftovers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	grace := 3*cfg.SLO + cfg.Heavy.Latency.Latency(cfg.Heavy.Latency.MaxBatch())
+	horizon := cfg.Trace.Duration() + grace
+	select {
+	case <-done:
+	case <-time.After(time.Duration(horizon * cfg.Timescale * float64(time.Second))):
+		lb.DrainRemaining()
+		<-done
+	}
+	lb.DrainRemaining()
+	cancel()
+
+	ref, err := fid.NewReference(realFeats)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building FID reference: %w", err)
+	}
+	return &Result{
+		Collector:   lb.Collector(),
+		Reference:   ref,
+		Plans:       loop.Plans(),
+		Queries:     len(arrivals),
+		WallSeconds: time.Since(wallStart).Seconds(),
+	}, nil
+}

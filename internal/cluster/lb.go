@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"diffserve/internal/loadbalancer"
+	"diffserve/internal/metrics"
+	"diffserve/internal/queueing"
+	"diffserve/internal/stats"
+)
+
+// LBConfig parameterizes the load-balancer server.
+type LBConfig struct {
+	// Mode selects the routing policy.
+	Mode loadbalancer.Mode
+	// SLO is the latency deadline in trace seconds.
+	SLO float64
+	// LightMinExec and HeavyMinExec are the batch-1 execution times
+	// used for predicted-deadline-miss shedding.
+	LightMinExec, HeavyMinExec float64
+	// Clock provides trace time.
+	Clock *Clock
+	// Seed drives random-split routing.
+	Seed uint64
+	// QueueWindow sizes arrival-rate windows (trace seconds).
+	QueueWindow float64
+	// CoalesceWait bounds how long a pull waits for a batch to fill:
+	// a pull for Max items returns empty while the queue holds fewer
+	// than Max items AND the oldest has been queued for less than
+	// CoalesceWait. Without it, concurrently polling workers shred
+	// deferral groups into batch-1 executions and halve pool
+	// throughput. Zero defaults to min(0.5s, SLO/10).
+	CoalesceWait float64
+}
+
+// LBServer is the data-path entry point: it queues queries per pool,
+// hands batches to pulling workers, applies the cascade threshold to
+// completed light generations, and resolves client waiters.
+type LBServer struct {
+	cfg LBConfig
+
+	mu        sync.Mutex
+	lb        *loadbalancer.LB
+	threshold float64
+	waiters   map[int]chan QueryResponse
+	arrived   map[int]float64 // query ID -> arrival (trace time)
+	col       *metrics.Collector
+	arrivals  int // since last stats poll
+	timeouts  int // since last stats poll
+	completed int
+	dropped   int
+}
+
+// NewLBServer constructs a load balancer.
+func NewLBServer(cfg LBConfig) *LBServer {
+	if cfg.QueueWindow <= 0 {
+		cfg.QueueWindow = 10
+	}
+	if cfg.CoalesceWait <= 0 {
+		cfg.CoalesceWait = cfg.SLO / 10
+		if cfg.CoalesceWait > 0.5 {
+			cfg.CoalesceWait = 0.5
+		}
+	}
+	return &LBServer{
+		cfg:     cfg,
+		lb:      loadbalancer.New(cfg.Mode, cfg.QueueWindow, stats.NewRNG(cfg.Seed)),
+		waiters: make(map[int]chan QueryResponse),
+		arrived: make(map[int]float64),
+		col:     metrics.NewCollector(),
+	}
+}
+
+// Collector exposes the LB's metrics records (read after the run).
+func (s *LBServer) Collector() *metrics.Collector { return s.col }
+
+// Mux returns the HTTP handler exposing the LB API.
+func (s *LBServer) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/pull", s.handlePull)
+	mux.HandleFunc("/complete", s.handleComplete)
+	mux.HandleFunc("/configure", s.handleConfigure)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// handleQuery admits a query and blocks until it completes or drops.
+func (s *LBServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q QueryMsg
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.cfg.Clock.Now()
+	if q.Arrival == 0 {
+		q.Arrival = now
+	}
+	ch := make(chan QueryResponse, 1)
+
+	s.mu.Lock()
+	s.waiters[q.ID] = ch
+	s.arrived[q.ID] = q.Arrival
+	s.arrivals++
+	s.lb.Route(now, queueing.Item{ID: q.ID, Arrival: q.Arrival})
+	s.mu.Unlock()
+
+	select {
+	case resp := <-ch:
+		writeJSON(w, resp)
+	case <-r.Context().Done():
+		s.mu.Lock()
+		delete(s.waiters, q.ID)
+		s.mu.Unlock()
+	}
+}
+
+// handlePull hands up to Max queued queries to a worker, shedding
+// queries that can no longer meet their deadline.
+func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req PullRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pool := loadbalancer.PoolLight
+	minExec := s.cfg.LightMinExec
+	if req.Role == "heavy" {
+		pool = loadbalancer.PoolHeavy
+		minExec = s.cfg.HeavyMinExec
+	}
+	now := s.cfg.Clock.Now()
+
+	s.mu.Lock()
+	q := s.lb.Queue(pool)
+	for _, it := range q.DropWhere(func(it queueing.Item) bool {
+		return now+minExec > it.Arrival+s.cfg.SLO
+	}) {
+		s.dropLocked(it.ID, it.Arrival)
+	}
+	// Batch coalescing: let the batch fill unless the head of the
+	// queue has already waited its share. Waiting longer than one
+	// batch-1 execution is never worthwhile, so the wait is capped
+	// per pool by its execution time.
+	wait := s.cfg.CoalesceWait
+	if minExec < wait {
+		wait = minExec
+	}
+	var items []queueing.Item
+	if q.Len() >= req.Max {
+		items = q.Pop(now, req.Max)
+	} else if oldest, ok := q.PeekEnqueue(); ok && now-oldest >= wait {
+		items = q.Pop(now, req.Max)
+	}
+	s.mu.Unlock()
+
+	resp := PullResponse{}
+	for _, it := range items {
+		resp.Queries = append(resp.Queries, QueryMsg{ID: it.ID, Arrival: it.Arrival})
+	}
+	writeJSON(w, resp)
+}
+
+// handleComplete receives a finished batch: light-pool results are
+// thresholded (serve or defer); heavy-pool results always serve.
+func (s *LBServer) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.cfg.Clock.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, item := range req.Items {
+		cascadeLight := req.Role == "light" && s.cfg.Mode == loadbalancer.ModeCascade
+		if cascadeLight && item.Confidence < s.threshold {
+			s.lb.Defer(now, queueing.Item{ID: item.ID, Arrival: item.Arrival})
+			continue
+		}
+		s.completeLocked(item, now, req.Role == "heavy")
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// completeLocked resolves a waiter and records the outcome.
+func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool) {
+	rec := metrics.QueryRecord{
+		ID:         item.ID,
+		Arrival:    item.Arrival,
+		Completion: now,
+		Deadline:   item.Arrival + s.cfg.SLO,
+		Deferred:   deferred,
+		ServedBy:   item.Variant,
+		Confidence: item.Confidence,
+		Features:   item.Features,
+		Artifact:   item.Artifact,
+	}
+	if rec.Violated() {
+		s.timeouts++
+	}
+	s.col.Record(rec)
+	s.completed++
+	if ch, ok := s.waiters[item.ID]; ok {
+		ch <- QueryResponse{
+			ID: item.ID, Variant: item.Variant, Features: item.Features,
+			Artifact: item.Artifact, Confidence: item.Confidence,
+			Deferred: deferred, Arrival: item.Arrival, Completion: now,
+		}
+		delete(s.waiters, item.ID)
+	}
+	delete(s.arrived, item.ID)
+}
+
+// dropLocked sheds a query.
+func (s *LBServer) dropLocked(id int, arrival float64) {
+	s.col.Record(metrics.QueryRecord{
+		ID: id, Arrival: arrival, Deadline: arrival + s.cfg.SLO, Dropped: true,
+	})
+	s.dropped++
+	s.timeouts++
+	if ch, ok := s.waiters[id]; ok {
+		ch <- QueryResponse{ID: id, Dropped: true, Arrival: arrival}
+		delete(s.waiters, id)
+	}
+	delete(s.arrived, id)
+}
+
+// handleConfigure updates threshold / split probability.
+func (s *LBServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req ConfigureLBRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.threshold = req.Threshold
+	s.lb.SetSplit(req.SplitProb)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleStats reports control-plane statistics and resets the
+// per-tick counters.
+func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	snap := s.lb.Snap(now)
+	out := LBStats{
+		Now:               now,
+		LightQueueLen:     snap.Light.Len,
+		HeavyQueueLen:     snap.Heavy.Len,
+		LightArrivalRate:  snap.Light.ArrivalRate,
+		HeavyArrivalRate:  snap.Heavy.ArrivalRate,
+		ArrivalsSinceTick: s.arrivals,
+		TimeoutsSinceTick: s.timeouts,
+		Completed:         s.completed,
+		Dropped:           s.dropped,
+	}
+	s.arrivals = 0
+	s.timeouts = 0
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+// DrainRemaining drops every still-queued query (end of run).
+func (s *LBServer) DrainRemaining() {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pool := range []loadbalancer.PoolID{loadbalancer.PoolLight, loadbalancer.PoolHeavy} {
+		q := s.lb.Queue(pool)
+		for _, it := range q.Pop(now, q.Len()) {
+			s.dropLocked(it.ID, it.Arrival)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cluster is the real-process runtime of DiffServe: an HTTP
+// load balancer, GPU workers, and a controller communicating over
+// JSON, mirroring the paper's testbed implementation (§4.1, artifact
+// Appendix A) with net/http standing in for gRPC.
+//
+// Model execution is simulated by sleeping for the profiled latency
+// (the artifact's --do_simulate mode) scaled by a configurable
+// timescale, so a six-minute trace can replay in seconds while
+// preserving all queuing dynamics. All components share the same
+// experiment seed, so worker processes regenerate identical images and
+// confidences for a given query ID — exactly as the simulator does.
+//
+// Architecturally the cluster matches the discrete-event simulator:
+// pool queues live at the load balancer and idle workers pull batches,
+// which keeps the two implementations directly comparable (§4.3's
+// simulator-vs-testbed validation).
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// QueryMsg is a query submission.
+type QueryMsg struct {
+	ID int `json:"id"`
+	// Arrival is the trace-time arrival in seconds (assigned by the
+	// load balancer if zero).
+	Arrival float64 `json:"arrival"`
+}
+
+// QueryResponse is returned to the client when its query completes.
+type QueryResponse struct {
+	ID         int       `json:"id"`
+	Dropped    bool      `json:"dropped"`
+	Variant    string    `json:"variant,omitempty"`
+	Features   []float64 `json:"features,omitempty"`
+	Artifact   float64   `json:"artifact,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Deferred   bool      `json:"deferred"`
+	Arrival    float64   `json:"arrival"`
+	Completion float64   `json:"completion"`
+}
+
+// PullRequest asks the load balancer for up to Max queued queries for
+// the given pool.
+type PullRequest struct {
+	WorkerID int    `json:"worker_id"`
+	Role     string `json:"role"` // "light" or "heavy"
+	Max      int    `json:"max"`
+}
+
+// PullResponse carries the dequeued work.
+type PullResponse struct {
+	Queries []QueryMsg `json:"queries"`
+}
+
+// CompleteItem is one finished generation.
+type CompleteItem struct {
+	ID         int       `json:"id"`
+	Arrival    float64   `json:"arrival"`
+	Variant    string    `json:"variant"`
+	Features   []float64 `json:"features"`
+	Artifact   float64   `json:"artifact"`
+	Confidence float64   `json:"confidence"`
+}
+
+// CompleteRequest reports a finished batch back to the load balancer.
+type CompleteRequest struct {
+	WorkerID int            `json:"worker_id"`
+	Role     string         `json:"role"`
+	Items    []CompleteItem `json:"items"`
+}
+
+// ConfigureWorkerRequest reassigns a worker.
+type ConfigureWorkerRequest struct {
+	Role  string `json:"role"` // "idle", "light", "heavy"
+	Batch int    `json:"batch"`
+}
+
+// ConfigureLBRequest updates the data-path policy knobs.
+type ConfigureLBRequest struct {
+	Threshold float64 `json:"threshold"`
+	SplitProb float64 `json:"split_prob"`
+}
+
+// WorkerStats is a worker's control-plane report.
+type WorkerStats struct {
+	ID      int    `json:"id"`
+	Role    string `json:"role"`
+	Batch   int    `json:"batch"`
+	Busy    bool   `json:"busy"`
+	Batches int    `json:"batches"`
+	Queries int    `json:"queries"`
+}
+
+// LBStats is the load balancer's control-plane report.
+type LBStats struct {
+	Now               float64 `json:"now"` // trace time, seconds
+	LightQueueLen     int     `json:"light_queue_len"`
+	HeavyQueueLen     int     `json:"heavy_queue_len"`
+	LightArrivalRate  float64 `json:"light_arrival_rate"`
+	HeavyArrivalRate  float64 `json:"heavy_arrival_rate"`
+	ArrivalsSinceTick int     `json:"arrivals_since_tick"`
+	TimeoutsSinceTick int     `json:"timeouts_since_tick"`
+	Completed         int     `json:"completed"`
+	Dropped           int     `json:"dropped"`
+}
+
+// postJSON is the shared JSON-over-HTTP helper.
+func postJSON(client *http.Client, url string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", url, err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: post %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: post %s: status %s", url, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// PostJSON posts a JSON document and decodes the JSON response. The
+// standalone client binary uses it to talk to the load balancer.
+func PostJSON(client *http.Client, url string, in, out interface{}) error {
+	return postJSON(client, url, in, out)
+}
+
+// getJSON fetches a JSON document.
+func getJSON(client *http.Client, url string, out interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("cluster: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: get %s: status %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Clock converts between wall time and trace time.
+type Clock struct {
+	start     time.Time
+	timescale float64 // wall seconds per trace second
+}
+
+// NewClock starts a clock with the given timescale. A timescale of
+// 0.05 replays traces at 20x real time.
+func NewClock(timescale float64) *Clock {
+	if timescale <= 0 {
+		timescale = 1
+	}
+	return &Clock{start: time.Now(), timescale: timescale}
+}
+
+// Now returns the current trace time in seconds.
+func (c *Clock) Now() float64 {
+	return time.Since(c.start).Seconds() / c.timescale
+}
+
+// Restart rewinds trace time to zero. The harness calls this after
+// component setup so that setup cost (server startup, the initial
+// MILP solve) does not consume trace time.
+func (c *Clock) Restart() { c.start = time.Now() }
+
+// SleepTrace blocks for d trace-seconds.
+func (c *Clock) SleepTrace(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(d * c.timescale * float64(time.Second)))
+}
+
+// Timescale returns the wall-seconds-per-trace-second factor.
+func (c *Clock) Timescale() float64 { return c.timescale }

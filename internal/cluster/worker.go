@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"diffserve/internal/discriminator"
+	"diffserve/internal/imagespace"
+	"diffserve/internal/model"
+	"diffserve/internal/worker"
+)
+
+// WorkerConfig parameterizes a worker process.
+type WorkerConfig struct {
+	ID int
+	// LBURL is the load balancer's base URL.
+	LBURL string
+	// Space regenerates query content; all processes share its seed.
+	Space *imagespace.Space
+	// Light and Heavy are the variants this worker can host.
+	Light, Heavy *model.Variant
+	// Scorer runs on light workers.
+	Scorer discriminator.Scorer
+	// Clock provides trace time and scaled sleeping.
+	Clock *Clock
+	// PollInterval is the idle re-poll delay in trace seconds.
+	PollInterval float64
+	// DisableLoadDelay skips model-switch downtime.
+	DisableLoadDelay bool
+}
+
+// WorkerServer simulates one GPU worker: it pulls batches from the
+// load balancer, sleeps for the profiled execution latency (timescale-
+// adjusted), generates images deterministically, scores them with the
+// discriminator when hosting the light model, and reports completions.
+type WorkerServer struct {
+	cfg    WorkerConfig
+	client *http.Client
+
+	mu    sync.Mutex
+	state *worker.Worker
+	busy  bool
+}
+
+// NewWorkerServer constructs a worker.
+func NewWorkerServer(cfg WorkerConfig) *WorkerServer {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 0.05
+	}
+	return &WorkerServer{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 30 * time.Second},
+		state:  worker.New(cfg.ID),
+	}
+}
+
+// Mux returns the worker's control API.
+func (s *WorkerServer) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/configure", s.handleConfigure)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func parseRole(s string) worker.Role {
+	switch s {
+	case "light":
+		return worker.RoleLight
+	case "heavy":
+		return worker.RoleHeavy
+	default:
+		return worker.RoleIdle
+	}
+}
+
+func roleName(r worker.Role) string { return r.String() }
+
+// handleConfigure reassigns the worker's model and batch size. Role
+// switches incur the variant's load time (timescale-adjusted) unless
+// disabled.
+func (s *WorkerServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req ConfigureWorkerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	role := parseRole(req.Role)
+	load := 0.0
+	if !s.cfg.DisableLoadDelay {
+		switch role {
+		case worker.RoleLight:
+			load = s.cfg.Light.LoadSeconds
+		case worker.RoleHeavy:
+			load = s.cfg.Heavy.LoadSeconds
+		}
+	}
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	s.state.Assign(now, role, maxInt(req.Batch, 1), load)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// handleStats reports the worker's state.
+func (s *WorkerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := WorkerStats{
+		ID:      s.state.ID(),
+		Role:    roleName(s.state.Role()),
+		Batch:   s.state.Batch(),
+		Busy:    s.busy,
+		Batches: s.state.Batches(),
+		Queries: s.state.Queries(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+// Loop runs the worker's pull-execute-complete cycle until the context
+// is cancelled. It is the cluster analogue of the simulator's
+// dispatch/onBatchDone events.
+func (s *WorkerServer) Loop(ctx context.Context) {
+	for ctx.Err() == nil {
+		now := s.cfg.Clock.Now()
+		s.mu.Lock()
+		role := s.state.Role()
+		batch := s.state.Batch()
+		available := s.state.Available(now)
+		s.mu.Unlock()
+
+		if role == worker.RoleIdle || !available {
+			s.cfg.Clock.SleepTrace(s.cfg.PollInterval)
+			continue
+		}
+
+		var pulled PullResponse
+		err := postJSON(s.client, s.cfg.LBURL+"/pull", PullRequest{
+			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch,
+		}, &pulled)
+		if err != nil || len(pulled.Queries) == 0 {
+			s.cfg.Clock.SleepTrace(s.cfg.PollInterval)
+			continue
+		}
+
+		s.executeBatch(role, pulled.Queries)
+	}
+}
+
+// executeBatch simulates execution and reports completions.
+func (s *WorkerServer) executeBatch(role worker.Role, queries []QueryMsg) {
+	n := len(queries)
+	variant := s.cfg.Light
+	if role == worker.RoleHeavy {
+		variant = s.cfg.Heavy
+	}
+	exec := variant.Latency.Latency(n)
+	if role == worker.RoleLight && s.cfg.Scorer != nil {
+		exec += float64(n) * s.cfg.Scorer.PerImageLatency()
+	}
+
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	if s.state.Available(now) {
+		s.state.StartBatch(now, n, exec)
+	}
+	s.busy = true
+	s.mu.Unlock()
+
+	s.cfg.Clock.SleepTrace(exec)
+
+	req := CompleteRequest{WorkerID: s.cfg.ID, Role: roleName(role)}
+	for _, q := range queries {
+		query := s.cfg.Space.SampleQuery(q.ID)
+		img := s.cfg.Space.GenerateDeterministic(query, variant.Name, variant.Gen)
+		item := CompleteItem{
+			ID: q.ID, Arrival: q.Arrival,
+			Variant: img.Variant, Features: img.Features, Artifact: img.Artifact,
+		}
+		if role == worker.RoleLight && s.cfg.Scorer != nil {
+			item.Confidence = s.cfg.Scorer.Confidence(query, img)
+		}
+		req.Items = append(req.Items, item)
+	}
+	// Completion failures are dropped queries from the client's view;
+	// nothing to retry meaningfully in a lossy run.
+	_ = postJSON(s.client, s.cfg.LBURL+"/complete", req, nil)
+
+	s.mu.Lock()
+	s.busy = false
+	s.mu.Unlock()
+}

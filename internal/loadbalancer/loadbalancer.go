@@ -1,0 +1,154 @@
+// Package loadbalancer implements DiffServe's data-path routing: the
+// entry point that queues arriving queries for the light pool (cascade
+// mode), routes everything to a single pool (the Clipper baselines),
+// or splits randomly by capacity share (Proteus), plus the deferral
+// path that moves low-confidence queries from the light to the heavy
+// pool.
+package loadbalancer
+
+import (
+	"fmt"
+
+	"diffserve/internal/queueing"
+	"diffserve/internal/stats"
+)
+
+// Mode is the routing policy.
+type Mode int
+
+// Routing policies.
+const (
+	// ModeCascade routes every query to the light pool first; the
+	// discriminator decides deferral (DiffServe and its ablations).
+	ModeCascade Mode = iota
+	// ModeAllLight serves everything from the light pool
+	// (Clipper-Light).
+	ModeAllLight
+	// ModeAllHeavy serves everything from the heavy pool
+	// (Clipper-Heavy).
+	ModeAllHeavy
+	// ModeRandomSplit routes to the heavy pool with the configured
+	// probability, query-agnostically (Proteus).
+	ModeRandomSplit
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCascade:
+		return "cascade"
+	case ModeAllLight:
+		return "all-light"
+	case ModeAllHeavy:
+		return "all-heavy"
+	case ModeRandomSplit:
+		return "random-split"
+	}
+	return "unknown"
+}
+
+// PoolID identifies a destination pool.
+type PoolID int
+
+// Destination pools.
+const (
+	PoolLight PoolID = iota
+	PoolHeavy
+)
+
+// LB is the load balancer: two pool queues plus the routing policy.
+type LB struct {
+	mode      Mode
+	splitProb float64
+	rng       *stats.RNG
+
+	Light *queueing.FIFO
+	Heavy *queueing.FIFO
+
+	routedLight, routedHeavy, deferred int
+}
+
+// New constructs a load balancer. windowSecs sizes the queues'
+// arrival-rate estimation windows.
+func New(mode Mode, windowSecs float64, rng *stats.RNG) *LB {
+	return &LB{
+		mode:  mode,
+		rng:   rng.Stream("lb"),
+		Light: queueing.NewFIFO(windowSecs),
+		Heavy: queueing.NewFIFO(windowSecs),
+	}
+}
+
+// Mode returns the routing policy.
+func (lb *LB) Mode() Mode { return lb.mode }
+
+// SetSplit updates the random-split heavy probability (Proteus mode).
+// Values are clamped to [0, 1].
+func (lb *LB) SetSplit(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	lb.splitProb = p
+}
+
+// Split returns the current heavy-routing probability.
+func (lb *LB) Split() float64 { return lb.splitProb }
+
+// Route enqueues an arriving query and returns the pool it joined.
+func (lb *LB) Route(now float64, it queueing.Item) PoolID {
+	switch lb.mode {
+	case ModeAllHeavy:
+		lb.Heavy.Push(now, it)
+		lb.routedHeavy++
+		return PoolHeavy
+	case ModeRandomSplit:
+		if lb.rng.Bernoulli(lb.splitProb) {
+			lb.Heavy.Push(now, it)
+			lb.routedHeavy++
+			return PoolHeavy
+		}
+		lb.Light.Push(now, it)
+		lb.routedLight++
+		return PoolLight
+	default: // ModeCascade, ModeAllLight
+		lb.Light.Push(now, it)
+		lb.routedLight++
+		return PoolLight
+	}
+}
+
+// Defer moves a low-confidence query to the heavy pool (cascade mode).
+func (lb *LB) Defer(now float64, it queueing.Item) {
+	lb.Heavy.Push(now, it)
+	lb.deferred++
+}
+
+// Queue returns the queue for a pool.
+func (lb *LB) Queue(p PoolID) *queueing.FIFO {
+	if p == PoolHeavy {
+		return lb.Heavy
+	}
+	return lb.Light
+}
+
+// Stats summarizes routing counters.
+func (lb *LB) Stats() (routedLight, routedHeavy, deferred int) {
+	return lb.routedLight, lb.routedHeavy, lb.deferred
+}
+
+// Snapshot captures both queues for the controller.
+type Snapshot struct {
+	Light, Heavy queueing.Snapshot
+}
+
+// Snap builds the controller-facing snapshot at time now.
+func (lb *LB) Snap(now float64) Snapshot {
+	return Snapshot{Light: lb.Light.Snap(now), Heavy: lb.Heavy.Snap(now)}
+}
+
+// String renders the LB state for diagnostics.
+func (lb *LB) String() string {
+	return fmt.Sprintf("lb[%s light=%d heavy=%d deferred=%d]", lb.mode, lb.Light.Len(), lb.Heavy.Len(), lb.deferred)
+}

@@ -1,0 +1,107 @@
+package loadbalancer
+
+import (
+	"math"
+	"testing"
+
+	"diffserve/internal/queueing"
+	"diffserve/internal/stats"
+)
+
+func TestCascadeRoutesLight(t *testing.T) {
+	lb := New(ModeCascade, 10, stats.NewRNG(1))
+	for i := 0; i < 10; i++ {
+		if got := lb.Route(0, queueing.Item{ID: i}); got != PoolLight {
+			t.Fatalf("cascade routed to %v", got)
+		}
+	}
+	if lb.Light.Len() != 10 || lb.Heavy.Len() != 0 {
+		t.Error("queue lengths wrong")
+	}
+}
+
+func TestAllHeavyRoutesHeavy(t *testing.T) {
+	lb := New(ModeAllHeavy, 10, stats.NewRNG(2))
+	lb.Route(0, queueing.Item{ID: 1})
+	if lb.Heavy.Len() != 1 || lb.Light.Len() != 0 {
+		t.Error("all-heavy routing wrong")
+	}
+}
+
+func TestRandomSplitProbability(t *testing.T) {
+	lb := New(ModeRandomSplit, 10, stats.NewRNG(3))
+	lb.SetSplit(0.3)
+	n := 20000
+	for i := 0; i < n; i++ {
+		lb.Route(0, queueing.Item{ID: i})
+	}
+	frac := float64(lb.Heavy.Len()) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("heavy fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestSetSplitClamps(t *testing.T) {
+	lb := New(ModeRandomSplit, 10, stats.NewRNG(4))
+	lb.SetSplit(-1)
+	if lb.Split() != 0 {
+		t.Errorf("split = %v, want 0", lb.Split())
+	}
+	lb.SetSplit(2)
+	if lb.Split() != 1 {
+		t.Errorf("split = %v, want 1", lb.Split())
+	}
+}
+
+func TestDeferCountsAndQueues(t *testing.T) {
+	lb := New(ModeCascade, 10, stats.NewRNG(5))
+	lb.Route(0, queueing.Item{ID: 1})
+	lb.Defer(1, queueing.Item{ID: 1, Arrival: 0})
+	l, h, d := lb.Stats()
+	if l != 1 || h != 0 || d != 1 {
+		t.Errorf("stats = %d, %d, %d", l, h, d)
+	}
+	if lb.Heavy.Len() != 1 {
+		t.Error("deferred item not on heavy queue")
+	}
+}
+
+func TestQueueAccessor(t *testing.T) {
+	lb := New(ModeCascade, 10, stats.NewRNG(6))
+	if lb.Queue(PoolLight) != lb.Light || lb.Queue(PoolHeavy) != lb.Heavy {
+		t.Error("Queue accessor wrong")
+	}
+}
+
+func TestSnap(t *testing.T) {
+	lb := New(ModeCascade, 10, stats.NewRNG(7))
+	for i := 0; i < 5; i++ {
+		lb.Route(float64(i), queueing.Item{ID: i})
+	}
+	s := lb.Snap(5)
+	if s.Light.Len != 5 {
+		t.Errorf("snapshot light len = %d", s.Light.Len)
+	}
+	if s.Light.ArrivalRate <= 0 {
+		t.Error("snapshot rate missing")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeCascade: "cascade", ModeAllLight: "all-light",
+		ModeAllHeavy: "all-heavy", ModeRandomSplit: "random-split",
+		Mode(99): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("%d -> %q, want %q", m, m.String(), want)
+		}
+	}
+	lb := New(ModeCascade, 10, stats.NewRNG(8))
+	if lb.String() == "" {
+		t.Error("empty LB string")
+	}
+	if lb.Mode() != ModeCascade {
+		t.Error("Mode accessor wrong")
+	}
+}

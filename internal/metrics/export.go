@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteRecordsCSV exports the raw per-query records in the artifact's
+// log format: one row per query with arrival, completion, deadline,
+// outcome, serving variant, and confidence. Plotting scripts consume
+// these files to regenerate the timeline figures.
+func (c *Collector) WriteRecordsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "arrival", "completion", "deadline", "dropped", "late", "deferred", "served_by", "confidence"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range c.records {
+		row := []string{
+			strconv.Itoa(r.ID),
+			fmtF(r.Arrival),
+			fmtF(r.Completion),
+			fmtF(r.Deadline),
+			strconv.FormatBool(r.Dropped),
+			strconv.FormatBool(r.Late()),
+			strconv.FormatBool(r.Deferred),
+			r.ServedBy,
+			fmtF(r.Confidence),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV exports time-bucketed statistics (demand, FID,
+// violation ratio, defer ratio) — the series behind Figs 5 and 8.
+func WriteTimelineCSV(w io.Writer, buckets []Bucket) error {
+	cw := csv.NewWriter(w)
+	header := []string{"start", "end", "arrivals", "served", "dropped", "late", "demand_qps", "violation_ratio", "fid", "defer_ratio"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		fid := ""
+		if !math.IsNaN(b.FID) {
+			fid = fmtF(b.FID)
+		}
+		row := []string{
+			fmtF(b.Start), fmtF(b.End),
+			strconv.Itoa(b.Arrivals), strconv.Itoa(b.Served),
+			strconv.Itoa(b.Dropped), strconv.Itoa(b.Late),
+			fmtF(b.DemandQPS), fmtF(b.ViolationRatio), fid, fmtF(b.DeferRatio),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// ReadTimelineCSV parses a timeline written by WriteTimelineCSV,
+// enabling round-trip tooling (diffing runs, re-plotting).
+func ReadTimelineCSV(r io.Reader) ([]Bucket, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("metrics: empty timeline CSV")
+	}
+	var out []Bucket
+	for i, row := range rows[1:] {
+		if len(row) != 10 {
+			return nil, fmt.Errorf("metrics: row %d has %d fields, want 10", i+1, len(row))
+		}
+		var b Bucket
+		var errs []error
+		parse := func(s string) float64 {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			return v
+		}
+		parseI := func(s string) int {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			return v
+		}
+		b.Start = parse(row[0])
+		b.End = parse(row[1])
+		b.Arrivals = parseI(row[2])
+		b.Served = parseI(row[3])
+		b.Dropped = parseI(row[4])
+		b.Late = parseI(row[5])
+		b.DemandQPS = parse(row[6])
+		b.ViolationRatio = parse(row[7])
+		if row[8] == "" {
+			b.FID = math.NaN()
+		} else {
+			b.FID = parse(row[8])
+		}
+		b.DeferRatio = parse(row[9])
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("metrics: row %d: %v", i+1, errs[0])
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

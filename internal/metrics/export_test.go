@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteRecordsCSV(t *testing.T) {
+	c := NewCollector()
+	c.Record(QueryRecord{ID: 1, Arrival: 0.5, Completion: 1.5, Deadline: 5.5, ServedBy: "sdturbo", Confidence: 0.7})
+	c.Record(QueryRecord{ID: 2, Arrival: 1, Dropped: true, Deadline: 6})
+	var buf bytes.Buffer
+	if err := c.WriteRecordsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,arrival,completion") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "sdturbo") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("dropped row = %q", lines[2])
+	}
+}
+
+func TestTimelineCSVRoundTrip(t *testing.T) {
+	in := []Bucket{
+		{Start: 0, End: 10, Arrivals: 42, Served: 40, Dropped: 1, Late: 1, DemandQPS: 4.2, ViolationRatio: 2.0 / 42, FID: 16.5, DeferRatio: 0.5},
+		{Start: 10, End: 20, Arrivals: 0, FID: math.NaN()},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTimelineCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	if out[0].Arrivals != 42 || out[0].Served != 40 || out[0].Dropped != 1 {
+		t.Errorf("row 0 = %+v", out[0])
+	}
+	if math.Abs(out[0].FID-16.5) > 1e-9 || math.Abs(out[0].ViolationRatio-2.0/42) > 1e-9 {
+		t.Errorf("row 0 floats = %+v", out[0])
+	}
+	if !math.IsNaN(out[1].FID) {
+		t.Errorf("NaN FID did not round trip: %v", out[1].FID)
+	}
+}
+
+func TestReadTimelineCSVErrors(t *testing.T) {
+	if _, err := ReadTimelineCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadTimelineCSV(strings.NewReader("h1,h2\n1,2\n")); err == nil {
+		t.Error("wrong column count should fail")
+	}
+	bad := "start,end,arrivals,served,dropped,late,demand_qps,violation_ratio,fid,defer_ratio\nx,0,0,0,0,0,0,0,,0\n"
+	if _, err := ReadTimelineCSV(strings.NewReader(bad)); err == nil {
+		t.Error("garbage float should fail")
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics collects per-query serving records and aggregates
+// them into the two headline statistics of the paper's evaluation —
+// response quality (FID of served images against the ground-truth
+// set) and SLO violation ratio (late or dropped queries) — plus
+// time-bucketed series for the timeline figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"diffserve/internal/fid"
+	"diffserve/internal/stats"
+)
+
+// QueryRecord is the outcome of one query.
+type QueryRecord struct {
+	ID         int
+	Arrival    float64
+	Completion float64 // meaningful only when !Dropped
+	Deadline   float64 // arrival + SLO
+	Dropped    bool
+	Deferred   bool    // served by the heavy model after cascading
+	ServedBy   string  // variant name; empty when dropped
+	Confidence float64 // discriminator confidence of the light image
+	Features   []float64
+	Artifact   float64
+}
+
+// Late reports whether the query completed after its deadline.
+func (r QueryRecord) Late() bool { return !r.Dropped && r.Completion > r.Deadline }
+
+// Violated reports whether the query counts as an SLO violation
+// (dropped or late), the paper's definition.
+func (r QueryRecord) Violated() bool { return r.Dropped || r.Late() }
+
+// Latency returns the end-to-end latency, or NaN when dropped.
+func (r QueryRecord) Latency() float64 {
+	if r.Dropped {
+		return math.NaN()
+	}
+	return r.Completion - r.Arrival
+}
+
+// Collector accumulates query records.
+type Collector struct {
+	records []QueryRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends a query outcome.
+func (c *Collector) Record(r QueryRecord) { c.records = append(c.records, r) }
+
+// Len returns the number of recorded queries.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns the raw records (not copied; treat as read-only).
+func (c *Collector) Records() []QueryRecord { return c.records }
+
+// SLOViolationRatio returns the fraction of queries dropped or late.
+func (c *Collector) SLOViolationRatio() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, r := range c.records {
+		if r.Violated() {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(c.records))
+}
+
+// DropRatio returns the fraction of queries dropped.
+func (c *Collector) DropRatio() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range c.records {
+		if r.Dropped {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.records))
+}
+
+// DeferRatio returns the fraction of completed queries served by the
+// heavy model.
+func (c *Collector) DeferRatio() float64 {
+	total, deferred := 0, 0
+	for _, r := range c.records {
+		if r.Dropped {
+			continue
+		}
+		total++
+		if r.Deferred {
+			deferred++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(deferred) / float64(total)
+}
+
+// ServedFeatures returns the feature vectors of all completed queries.
+func (c *Collector) ServedFeatures() [][]float64 {
+	var out [][]float64
+	for _, r := range c.records {
+		if !r.Dropped && r.Features != nil {
+			out = append(out, r.Features)
+		}
+	}
+	return out
+}
+
+// FID computes the response-quality FID of all served images against
+// the reference. It returns an error when fewer than two images were
+// served.
+func (c *Collector) FID(ref *fid.Reference) (float64, error) {
+	feats := c.ServedFeatures()
+	if len(feats) < 2 {
+		return 0, fmt.Errorf("metrics: %d served images, need >= 2 for FID", len(feats))
+	}
+	return ref.Score(feats)
+}
+
+// LatencyQuantile returns the q-quantile of completed-query latency.
+func (c *Collector) LatencyQuantile(q float64) float64 {
+	var ls []float64
+	for _, r := range c.records {
+		if !r.Dropped {
+			ls = append(ls, r.Completion-r.Arrival)
+		}
+	}
+	return stats.Quantile(ls, q)
+}
+
+// MeanLatency returns the mean completed-query latency.
+func (c *Collector) MeanLatency() float64 {
+	var ls []float64
+	for _, r := range c.records {
+		if !r.Dropped {
+			ls = append(ls, r.Completion-r.Arrival)
+		}
+	}
+	return stats.Mean(ls)
+}
+
+// Bucket is one time window of the serving timeline.
+type Bucket struct {
+	Start, End float64
+	Arrivals   int
+	Served     int
+	Dropped    int
+	Late       int
+	// DemandQPS is arrivals divided by bucket width.
+	DemandQPS float64
+	// ViolationRatio is (dropped+late)/arrivals, 0 when no arrivals.
+	ViolationRatio float64
+	// FID of images served in the bucket; NaN when fewer than the
+	// minimum sample count completed.
+	FID float64
+	// DeferRatio is the fraction of the bucket's served queries that
+	// were deferred to the heavy model.
+	DeferRatio float64
+}
+
+// Timeline aggregates records into fixed-width buckets by arrival
+// time. ref may be nil to skip FID computation. minFIDSamples guards
+// against meaningless small-sample FIDs (default 32 when <= 0).
+func (c *Collector) Timeline(bucketSecs float64, ref *fid.Reference, minFIDSamples int) ([]Bucket, error) {
+	if bucketSecs <= 0 {
+		return nil, fmt.Errorf("metrics: bucketSecs must be positive")
+	}
+	if len(c.records) == 0 {
+		return nil, nil
+	}
+	if minFIDSamples <= 0 {
+		minFIDSamples = 32
+	}
+	recs := append([]QueryRecord(nil), c.records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Arrival < recs[j].Arrival })
+	last := recs[len(recs)-1].Arrival
+	n := int(last/bucketSecs) + 1
+	buckets := make([]Bucket, n)
+	feats := make([][][]float64, n)
+	for i := range buckets {
+		buckets[i].Start = float64(i) * bucketSecs
+		buckets[i].End = float64(i+1) * bucketSecs
+	}
+	for _, r := range recs {
+		i := int(r.Arrival / bucketSecs)
+		b := &buckets[i]
+		b.Arrivals++
+		switch {
+		case r.Dropped:
+			b.Dropped++
+		case r.Late():
+			b.Late++
+			b.Served++
+		default:
+			b.Served++
+		}
+		if !r.Dropped && r.Features != nil {
+			feats[i] = append(feats[i], r.Features)
+			if r.Deferred {
+				b.DeferRatio++ // numerator; normalized below
+			}
+		}
+	}
+	for i := range buckets {
+		b := &buckets[i]
+		b.DemandQPS = float64(b.Arrivals) / bucketSecs
+		if b.Arrivals > 0 {
+			b.ViolationRatio = float64(b.Dropped+b.Late) / float64(b.Arrivals)
+		}
+		if b.Served > 0 {
+			b.DeferRatio /= float64(b.Served)
+		}
+		b.FID = math.NaN()
+		if ref != nil && len(feats[i]) >= minFIDSamples {
+			v, err := ref.Score(feats[i])
+			if err != nil {
+				return nil, err
+			}
+			b.FID = v
+		}
+	}
+	return buckets, nil
+}
+
+// Summary is a compact end-to-end result for comparison tables.
+type Summary struct {
+	Queries        int
+	FID            float64
+	ViolationRatio float64
+	DropRatio      float64
+	DeferRatio     float64
+	MeanLatency    float64
+	P99Latency     float64
+}
+
+// Summarize computes the end-to-end summary. FID is NaN when not
+// computable.
+func (c *Collector) Summarize(ref *fid.Reference) Summary {
+	s := Summary{
+		Queries:        c.Len(),
+		ViolationRatio: c.SLOViolationRatio(),
+		DropRatio:      c.DropRatio(),
+		DeferRatio:     c.DeferRatio(),
+		MeanLatency:    c.MeanLatency(),
+		P99Latency:     c.LatencyQuantile(0.99),
+		FID:            math.NaN(),
+	}
+	if ref != nil {
+		if v, err := c.FID(ref); err == nil {
+			s.FID = v
+		}
+	}
+	return s
+}

@@ -1,0 +1,363 @@
+// Package milp provides a small, self-contained mixed-integer linear
+// programming solver: a two-phase dense primal simplex for linear
+// relaxations (Bland's rule, so it cannot cycle) and best-bound
+// branch-and-bound for integrality. It stands in for Gurobi in the
+// DiffServe resource allocator, whose instances are small (on the
+// order of a hundred variables), and is cross-validated against
+// exhaustive enumeration in the allocator's tests.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	EQ            // ==
+	GE            // >=
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint is a dense linear constraint over all problem variables.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+	// Name is optional, for diagnostics.
+	Name string
+}
+
+// Problem is a mixed-integer linear program.
+type Problem struct {
+	Sense       Sense
+	Objective   []float64
+	Constraints []Constraint
+	// Lower and Upper are per-variable bounds. A nil Lower defaults to
+	// all zeros; a nil Upper defaults to +Inf. Use math.Inf(1) for
+	// unbounded-above variables.
+	Lower, Upper []float64
+	// Integer flags which variables must take integer values. Nil
+	// means all continuous.
+	Integer []bool
+	// Initial optionally supplies a warm-start candidate. If it is
+	// feasible and integral it becomes the incumbent before search
+	// begins, letting branch-and-bound prune aggressively.
+	Initial []float64
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	if n == 0 {
+		return errors.New("milp: problem has no variables")
+	}
+	if p.Lower != nil && len(p.Lower) != n {
+		return fmt.Errorf("milp: Lower has %d entries, want %d", len(p.Lower), n)
+	}
+	if p.Upper != nil && len(p.Upper) != n {
+		return fmt.Errorf("milp: Upper has %d entries, want %d", len(p.Upper), n)
+	}
+	if p.Integer != nil && len(p.Integer) != n {
+		return fmt.Errorf("milp: Integer has %d entries, want %d", len(p.Integer), n)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("milp: constraint %d has %d coeffs, want %d", i, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) {
+			return fmt.Errorf("milp: constraint %d has NaN RHS", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := p.boundsAt(i)
+		if lo > hi {
+			return fmt.Errorf("milp: variable %d has empty bound range [%v, %v]", i, lo, hi)
+		}
+		if math.IsInf(lo, -1) {
+			return fmt.Errorf("milp: variable %d has -Inf lower bound (unsupported; shift or split)", i)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) boundsAt(i int) (lo, hi float64) {
+	lo = 0
+	if p.Lower != nil {
+		lo = p.Lower[i]
+	}
+	hi = math.Inf(1)
+	if p.Upper != nil {
+		hi = p.Upper[i]
+	}
+	return lo, hi
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64
+	Objective  float64
+	Nodes      int // branch-and-bound nodes explored
+	Iterations int // total simplex pivots
+}
+
+// ErrNodeLimit is returned when branch-and-bound exceeds its node
+// budget without proving optimality.
+var ErrNodeLimit = errors.New("milp: branch-and-bound node limit exceeded")
+
+const (
+	intTol     = 1e-6
+	feasTol    = 1e-7
+	defaultCap = 200000
+)
+
+// SolveLP solves the linear relaxation of the problem (ignoring
+// integrality flags).
+func SolveLP(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := boundsOf(p)
+	return solveLPBounds(p, lo, hi)
+}
+
+// Solve solves the mixed-integer program by best-bound branch and
+// bound over LP relaxations.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Integer == nil {
+		return SolveLP(p)
+	}
+
+	type node struct {
+		lo, hi []float64
+		bound  float64 // LP objective in minimize orientation
+	}
+
+	root := node{}
+	root.lo, root.hi = boundsOf(p)
+
+	rootSol, err := solveLPBounds(p, root.lo, root.hi)
+	if err != nil {
+		return nil, err
+	}
+	totalIters := rootSol.Iterations
+	if rootSol.Status != StatusOptimal {
+		rootSol.Iterations = totalIters
+		return rootSol, nil
+	}
+	root.bound = orient(p, rootSol.Objective)
+
+	best := (*Solution)(nil)
+	bestObj := math.Inf(1) // minimize orientation
+
+	// Seed the incumbent from a feasible, integral warm start.
+	if p.Initial != nil && len(p.Initial) == p.NumVars() && isFeasible(p, p.Initial) {
+		obj := 0.0
+		for i, x := range p.Initial {
+			obj += p.Objective[i] * x
+		}
+		bestObj = orient(p, obj)
+		best = &Solution{Status: StatusOptimal, X: append([]float64(nil), p.Initial...), Objective: obj}
+	}
+
+	// Best-bound frontier kept as a simple slice heap-by-scan; node
+	// counts are small enough that O(n) extraction is fine.
+	frontier := []node{root}
+	nodes := 0
+	for len(frontier) > 0 {
+		nodes++
+		if nodes > defaultCap {
+			return nil, ErrNodeLimit
+		}
+		// Pop the node with the smallest bound.
+		bi := 0
+		for i := range frontier {
+			if frontier[i].bound < frontier[bi].bound {
+				bi = i
+			}
+		}
+		cur := frontier[bi]
+		frontier[bi] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		if cur.bound >= bestObj-1e-9 {
+			continue // pruned by bound
+		}
+		sol, err := solveLPBounds(p, cur.lo, cur.hi)
+		if err != nil {
+			return nil, err
+		}
+		totalIters += sol.Iterations
+		if sol.Status != StatusOptimal {
+			continue // infeasible subtree (unbounded cannot appear below root)
+		}
+		obj := orient(p, sol.Objective)
+		if obj >= bestObj-1e-9 {
+			continue
+		}
+		// Find the branching variable: prefer fractional binaries
+		// (batch/threshold selectors), which fix problem structure,
+		// over general integers; break ties by fractionality.
+		branchVar := -1
+		worstFrac := intTol
+		branchBinary := false
+		for i, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(sol.X[i] - math.Round(sol.X[i]))
+			if f <= intTol {
+				continue
+			}
+			binary := cur.hi[i]-cur.lo[i] <= 1+intTol
+			switch {
+			case binary && !branchBinary:
+				branchBinary = true
+				worstFrac = f
+				branchVar = i
+			case binary == branchBinary && f > worstFrac:
+				worstFrac = f
+				branchVar = i
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			snapped := append([]float64(nil), sol.X...)
+			for i, isInt := range p.Integer {
+				if isInt {
+					snapped[i] = math.Round(snapped[i])
+				}
+			}
+			bestObj = obj
+			best = &Solution{Status: StatusOptimal, X: snapped, Objective: sol.Objective}
+			continue
+		}
+		v := sol.X[branchVar]
+		// Down child: x <= floor(v).
+		down := node{lo: append([]float64(nil), cur.lo...), hi: append([]float64(nil), cur.hi...), bound: obj}
+		down.hi[branchVar] = math.Floor(v)
+		if down.lo[branchVar] <= down.hi[branchVar] {
+			frontier = append(frontier, down)
+		}
+		// Up child: x >= ceil(v).
+		up := node{lo: append([]float64(nil), cur.lo...), hi: append([]float64(nil), cur.hi...), bound: obj}
+		up.lo[branchVar] = math.Ceil(v)
+		if up.lo[branchVar] <= up.hi[branchVar] {
+			frontier = append(frontier, up)
+		}
+	}
+
+	if best == nil {
+		return &Solution{Status: StatusInfeasible, Nodes: nodes, Iterations: totalIters}, nil
+	}
+	best.Nodes = nodes
+	best.Iterations = totalIters
+	return best, nil
+}
+
+// isFeasible checks a candidate point against bounds, integrality,
+// and all constraints within tolerance.
+func isFeasible(p *Problem, x []float64) bool {
+	for i := range x {
+		lo, hi := p.boundsAt(i)
+		if x[i] < lo-feasTol || x[i] > hi+feasTol {
+			return false
+		}
+		if p.Integer != nil && p.Integer[i] && math.Abs(x[i]-math.Round(x[i])) > intTol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		dot := 0.0
+		for i := range x {
+			dot += c.Coeffs[i] * x[i]
+		}
+		switch c.Rel {
+		case LE:
+			if dot > c.RHS+1e-6 {
+				return false
+			}
+		case GE:
+			if dot < c.RHS-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-c.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// orient converts an objective value into minimize orientation.
+func orient(p *Problem, obj float64) float64 {
+	if p.Sense == Maximize {
+		return -obj
+	}
+	return obj
+}
+
+func boundsOf(p *Problem) (lo, hi []float64) {
+	n := p.NumVars()
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo[i], hi[i] = p.boundsAt(i)
+	}
+	return lo, hi
+}

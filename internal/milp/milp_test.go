@@ -1,0 +1,592 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"diffserve/internal/stats"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	cases := []*Problem{
+		{},
+		{Objective: []float64{1}, Lower: []float64{0, 0}},
+		{Objective: []float64{1}, Upper: []float64{1, 1}},
+		{Objective: []float64{1}, Integer: []bool{true, false}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{Objective: []float64{1}, Lower: []float64{2}, Upper: []float64{1}},
+		{Objective: []float64{1}, Lower: []float64{math.Inf(-1)}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSolveLPBasic2D(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+	// Optimum at (4, 0) with objective 12.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, RHS: 6},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 12, 1e-8) {
+		t.Errorf("objective = %v, want 12", s.Objective)
+	}
+	if !approx(s.X[0], 4, 1e-8) || !approx(s.X[1], 0, 1e-8) {
+		t.Errorf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestSolveLPWithGEAndEQ(t *testing.T) {
+	// min x + y s.t. x + y >= 2, x - y == 0.5, x,y >= 0.
+	// Optimum: x+y = 2 with x - y = 0.5 -> x = 1.25, y = 0.75.
+	p := &Problem{
+		Sense:     Minimize,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 2},
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 0.5},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 2, 1e-8) {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+	if !approx(s.X[0], 1.25, 1e-8) || !approx(s.X[1], 0.75, 1e-8) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// max x with only x >= 1.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 1},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveLPUnconstrainedBox(t *testing.T) {
+	// max 2x - y over 1 <= x <= 3, 0 <= y <= 5 with no rows.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{2, -1},
+		Lower:     []float64{1, 0},
+		Upper:     []float64{3, 5},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 6, 1e-9) || !approx(s.X[0], 3, 1e-9) || !approx(s.X[1], 0, 1e-9) {
+		t.Errorf("got %v obj %v", s.X, s.Objective)
+	}
+	// Unbounded box.
+	p2 := &Problem{Sense: Maximize, Objective: []float64{1}}
+	s2, err := SolveLP(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != StatusUnbounded {
+		t.Errorf("status = %v, want unbounded", s2.Status)
+	}
+}
+
+func TestSolveLPRespectsBounds(t *testing.T) {
+	// min x s.t. x >= -10 is modeled with Lower = 2 (no -Inf support).
+	p := &Problem{
+		Objective: []float64{1},
+		Lower:     []float64{2},
+		Upper:     []float64{9},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 100},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.X[0], 2, 1e-9) {
+		t.Errorf("x = %v, want lower bound 2", s.X[0])
+	}
+}
+
+func TestSolveIntegerKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack: values {60,100,120}, weights {10,20,30},
+	// capacity 50 -> optimal 220 (items 2 and 3).
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{60, 100, 120},
+		Constraints: []Constraint{
+			{Coeffs: []float64{10, 20, 30}, Rel: LE, RHS: 50},
+		},
+		Upper:   []float64{1, 1, 1},
+		Integer: []bool{true, true, true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 220, 1e-6) {
+		t.Errorf("objective = %v, want 220", s.Objective)
+	}
+	want := []float64{0, 1, 1}
+	for i := range want {
+		if !approx(s.X[i], want[i], 1e-6) {
+			t.Errorf("x[%d] = %v, want %v", i, s.X[i], want[i])
+		}
+	}
+}
+
+func TestSolveIntegerVsLPGap(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 5: LP gives 2.5, ILP gives 2.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2, 2}, Rel: LE, RHS: 5},
+		},
+		Integer: []bool{true, true},
+	}
+	lp, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(lp.Objective, 2.5, 1e-8) {
+		t.Errorf("LP = %v, want 2.5", lp.Objective)
+	}
+	if !approx(ip.Objective, 2, 1e-8) {
+		t.Errorf("ILP = %v, want 2", ip.Objective)
+	}
+}
+
+func TestSolveIntegerInfeasible(t *testing.T) {
+	// 0 <= x <= 1 integer with 0.4 <= x <= 0.6 has no integer point.
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 0.4},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 0.6},
+		},
+		Upper:   []float64{1},
+		Integer: []bool{true},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x integer, y continuous; x + y <= 3.7; x <= 2.2.
+	// Best: x = 2, y = 1.7 -> 5.7.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{2, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 3.7},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2.2},
+		},
+		Integer: []bool{true, false},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 5.7, 1e-6) {
+		t.Errorf("objective = %v, want 5.7", s.Objective)
+	}
+	if !approx(s.X[0], 2, 1e-6) || !approx(s.X[1], 1.7, 1e-6) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+// bruteForceILP exhaustively enumerates integer points in the box and
+// returns the best objective, or NaN when infeasible.
+func bruteForceILP(p *Problem, hi []int) (float64, bool) {
+	n := p.NumVars()
+	x := make([]float64, n)
+	best := math.NaN()
+	found := false
+	var rec func(int)
+	rec = func(i int) {
+		if i == n {
+			for _, c := range p.Constraints {
+				dot := 0.0
+				for j := range x {
+					dot += c.Coeffs[j] * x[j]
+				}
+				switch c.Rel {
+				case LE:
+					if dot > c.RHS+1e-9 {
+						return
+					}
+				case GE:
+					if dot < c.RHS-1e-9 {
+						return
+					}
+				case EQ:
+					if math.Abs(dot-c.RHS) > 1e-9 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Objective[j] * x[j]
+			}
+			if !found {
+				best = obj
+				found = true
+				return
+			}
+			if p.Sense == Maximize && obj > best {
+				best = obj
+			}
+			if p.Sense == Minimize && obj < best {
+				best = obj
+			}
+			return
+		}
+		for v := 0; v <= hi[i]; v++ {
+			x[i] = float64(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+func TestSolveMatchesBruteForceRandomILPs(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(3) // 2-4 variables
+		hiInt := make([]int, n)
+		hi := make([]float64, n)
+		for i := range hi {
+			hiInt[i] = 1 + rng.Intn(5)
+			hi[i] = float64(hiInt[i])
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = math.Round(rng.Uniform(-5, 5)*2) / 2
+		}
+		nCons := 1 + rng.Intn(3)
+		cons := make([]Constraint, nCons)
+		for k := range cons {
+			co := make([]float64, n)
+			for i := range co {
+				co[i] = math.Round(rng.Uniform(-3, 3))
+			}
+			rel := LE
+			if rng.Bernoulli(0.3) {
+				rel = GE
+			}
+			cons[k] = Constraint{Coeffs: co, Rel: rel, RHS: math.Round(rng.Uniform(-5, 12))}
+		}
+		sense := Minimize
+		if rng.Bernoulli(0.5) {
+			sense = Maximize
+		}
+		ints := make([]bool, n)
+		for i := range ints {
+			ints[i] = true
+		}
+		p := &Problem{Sense: sense, Objective: obj, Constraints: cons, Upper: hi, Integer: ints}
+
+		got, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, feasible := bruteForceILP(p, hiInt)
+		if !feasible {
+			if got.Status != StatusInfeasible {
+				t.Fatalf("trial %d: solver says %v, brute force says infeasible\nproblem: %+v", trial, got.Status, p)
+			}
+			continue
+		}
+		if got.Status != StatusOptimal {
+			t.Fatalf("trial %d: solver says %v, brute force found %v\nproblem: %+v", trial, got.Status, want, p)
+		}
+		if !approx(got.Objective, want, 1e-6) {
+			t.Fatalf("trial %d: solver %v != brute force %v\nproblem: %+v\nx=%v", trial, got.Objective, want, p, got.X)
+		}
+	}
+}
+
+func TestSolveLPDegenerateNoCycle(t *testing.T) {
+	// A classically degenerate LP (Beale's example scaled); Bland's
+	// rule must terminate.
+	p := &Problem{
+		Sense:     Minimize,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, -0.05, 1e-6) {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestSolutionSatisfiesConstraintsProperty(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		hi := make([]float64, n)
+		for i := range hi {
+			hi[i] = float64(1 + rng.Intn(8))
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = rng.Uniform(-4, 4)
+		}
+		cons := []Constraint{}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			co := make([]float64, n)
+			for i := range co {
+				co[i] = rng.Uniform(0, 3)
+			}
+			cons = append(cons, Constraint{Coeffs: co, Rel: LE, RHS: rng.Uniform(2, 15)})
+		}
+		p := &Problem{Sense: Maximize, Objective: obj, Constraints: cons, Upper: hi}
+		s, err := SolveLP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != StatusOptimal {
+			continue
+		}
+		for ci, c := range cons {
+			dot := 0.0
+			for j := range s.X {
+				dot += c.Coeffs[j] * s.X[j]
+			}
+			if dot > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, ci, dot, c.RHS)
+			}
+		}
+		for j, x := range s.X {
+			if x < -1e-9 || x > hi[j]+1e-6 {
+				t.Fatalf("trial %d: bound violated: x[%d]=%v hi=%v", trial, j, x, hi[j])
+			}
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "==" || GE.String() != ">=" {
+		t.Error("Rel strings wrong")
+	}
+	if Rel(99).String() != "?" {
+		t.Error("unknown Rel string wrong")
+	}
+	if StatusOptimal.String() != "optimal" || StatusInfeasible.String() != "infeasible" || StatusUnbounded.String() != "unbounded" || Status(9).String() != "unknown" {
+		t.Error("Status strings wrong")
+	}
+}
+
+func BenchmarkSolveKnapsack20(b *testing.B) {
+	rng := stats.NewRNG(9)
+	n := 20
+	obj := make([]float64, n)
+	w := make([]float64, n)
+	hi := make([]float64, n)
+	ints := make([]bool, n)
+	for i := 0; i < n; i++ {
+		obj[i] = rng.Uniform(1, 10)
+		w[i] = rng.Uniform(1, 10)
+		hi[i] = 1
+		ints[i] = true
+	}
+	p := &Problem{
+		Sense:       Maximize,
+		Objective:   obj,
+		Constraints: []Constraint{{Coeffs: w, Rel: LE, RHS: 30}},
+		Upper:       hi,
+		Integer:     ints,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWarmStartSeedsIncumbent(t *testing.T) {
+	// max x + y s.t. x + y <= 7, x,y in [0,5] integer. Optimum 7.
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 7},
+		},
+		Upper:   []float64{5, 5},
+		Integer: []bool{true, true},
+		Initial: []float64{3, 4}, // feasible, objective 7 (optimal)
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !approx(s.Objective, 7, 1e-9) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestWarmStartInfeasibleIgnored(t *testing.T) {
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+		Upper:   []float64{10},
+		Integer: []bool{true},
+		Initial: []float64{9}, // violates the constraint
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 3, 1e-9) {
+		t.Fatalf("infeasible warm start corrupted solve: %+v", s)
+	}
+}
+
+func TestWarmStartFractionalIgnored(t *testing.T) {
+	p := &Problem{
+		Sense:     Maximize,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{2}, Rel: LE, RHS: 5},
+		},
+		Upper:   []float64{10},
+		Integer: []bool{true},
+		Initial: []float64{2.5}, // fractional: not a valid incumbent
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 2, 1e-9) {
+		t.Fatalf("fractional warm start corrupted solve: %+v", s)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestWarmStartMatchesBruteForceRandomILPs(t *testing.T) {
+	// The warm-start path must never change optimality, only speed.
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		hiInt := make([]int, n)
+		hi := make([]float64, n)
+		initial := make([]float64, n)
+		for i := range hi {
+			hiInt[i] = 1 + rng.Intn(4)
+			hi[i] = float64(hiInt[i])
+			initial[i] = float64(rng.Intn(hiInt[i] + 1))
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = math.Round(rng.Uniform(-4, 4))
+		}
+		cons := []Constraint{}
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			co := make([]float64, n)
+			for i := range co {
+				co[i] = math.Round(rng.Uniform(-2, 3))
+			}
+			cons = append(cons, Constraint{Coeffs: co, Rel: LE, RHS: math.Round(rng.Uniform(0, 10))})
+		}
+		ints := make([]bool, n)
+		for i := range ints {
+			ints[i] = true
+		}
+		p := &Problem{Sense: Maximize, Objective: obj, Constraints: cons, Upper: hi, Integer: ints, Initial: initial}
+		got, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, feasible := bruteForceILP(p, hiInt)
+		if !feasible {
+			if got.Status != StatusInfeasible {
+				t.Fatalf("trial %d: status %v, want infeasible", trial, got.Status)
+			}
+			continue
+		}
+		if got.Status != StatusOptimal || !approx(got.Objective, want, 1e-6) {
+			t.Fatalf("trial %d: solver %v (%v) vs brute force %v", trial, got.Objective, got.Status, want)
+		}
+	}
+}

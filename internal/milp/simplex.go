@@ -1,0 +1,303 @@
+package milp
+
+import (
+	"math"
+)
+
+// solveLPBounds solves the LP relaxation of p with the variable bounds
+// overridden by lo/hi, via two-phase dense primal simplex.
+//
+// The problem is converted to standard form:
+//   - each variable is shifted by its (finite) lower bound,
+//   - finite upper bounds become explicit <= rows,
+//   - <= rows gain slack variables, >= rows gain surplus+artificial,
+//     == rows gain artificial variables,
+//   - phase 1 minimizes the artificial sum; phase 2 the true objective.
+func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
+	n := p.NumVars()
+
+	// Quick infeasibility: empty box.
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			return &Solution{Status: StatusInfeasible}, nil
+		}
+	}
+
+	// Objective in minimize orientation over shifted variables.
+	c := make([]float64, n)
+	objShift := 0.0
+	for i := 0; i < n; i++ {
+		ci := p.Objective[i]
+		if p.Sense == Maximize {
+			ci = -ci
+		}
+		c[i] = ci
+		objShift += ci * lo[i]
+	}
+
+	// Build rows: original constraints with RHS adjusted for the lower
+	// bound shift, plus upper-bound rows x' <= hi - lo.
+	type row struct {
+		a   []float64
+		rel Rel
+		b   float64
+	}
+	var rows []row
+	for _, con := range p.Constraints {
+		b := con.RHS
+		for i := 0; i < n; i++ {
+			b -= con.Coeffs[i] * lo[i]
+		}
+		rows = append(rows, row{a: con.Coeffs, rel: con.Rel, b: b})
+	}
+	for i := 0; i < n; i++ {
+		if !math.IsInf(hi[i], 1) {
+			a := make([]float64, n)
+			a[i] = 1
+			rows = append(rows, row{a: a, rel: LE, b: hi[i] - lo[i]})
+		}
+	}
+
+	m := len(rows)
+	if m == 0 {
+		// Unconstrained over the box: each variable at its best bound.
+		x := make([]float64, n)
+		obj := objShift
+		for i := 0; i < n; i++ {
+			if c[i] < 0 {
+				if math.IsInf(hi[i], 1) {
+					return &Solution{Status: StatusUnbounded}, nil
+				}
+				x[i] = hi[i]
+				obj += c[i] * (hi[i] - lo[i])
+			} else {
+				x[i] = lo[i]
+			}
+		}
+		if p.Sense == Maximize {
+			obj = -obj
+		}
+		return &Solution{Status: StatusOptimal, X: x, Objective: obj}, nil
+	}
+
+	// Normalize rows to non-negative RHS first (flipping the relation
+	// where needed), THEN count extra columns: one slack per LE, one
+	// surplus per GE, one artificial per GE/EQ row.
+	for ri := range rows {
+		if rows[ri].b < 0 {
+			a := make([]float64, n)
+			for i, v := range rows[ri].a {
+				a[i] = -v
+			}
+			rows[ri].a = a
+			rows[ri].b = -rows[ri].b
+			switch rows[ri].rel {
+			case LE:
+				rows[ri].rel = GE
+			case GE:
+				rows[ri].rel = LE
+			}
+		}
+	}
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Tableau: m rows x (total+1) columns, last column is RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artStart := artCol
+	for ri, r := range rows {
+		t[ri] = make([]float64, total+1)
+		copy(t[ri], r.a)
+		t[ri][total] = r.b
+		switch r.rel {
+		case LE:
+			t[ri][slackCol] = 1
+			basis[ri] = slackCol
+			slackCol++
+		case GE:
+			t[ri][slackCol] = -1
+			slackCol++
+			t[ri][artCol] = 1
+			basis[ri] = artCol
+			artCol++
+		case EQ:
+			t[ri][artCol] = 1
+			basis[ri] = artCol
+			artCol++
+		}
+	}
+
+	iters := 0
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := artStart; j < artStart+nArt; j++ {
+			phase1[j] = 1
+		}
+		status, it := runSimplex(t, basis, phase1, total)
+		iters += it
+		if status == StatusUnbounded {
+			// Phase 1 objective is bounded below by 0; cannot happen
+			// with consistent input.
+			return &Solution{Status: StatusInfeasible, Iterations: iters}, nil
+		}
+		// Compute phase-1 objective value.
+		sum := 0.0
+		for ri, bi := range basis {
+			if bi >= artStart {
+				sum += t[ri][total]
+			}
+		}
+		if sum > 1e-7 {
+			return &Solution{Status: StatusInfeasible, Iterations: iters}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for ri, bi := range basis {
+			if bi < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t[ri][j]) > 1e-9 {
+					pivot(t, basis, ri, j)
+					iters++
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless, leave the artificial basic
+				// at value ~0 and forbid re-entry by zeroing columns.
+				_ = ri
+			}
+		}
+		// Remove artificial columns from consideration by truncating.
+		for ri := range t {
+			t[ri] = append(t[ri][:artStart], t[ri][total])
+		}
+		total = artStart
+	}
+
+	// Phase 2: minimize the real objective.
+	c2 := make([]float64, total)
+	copy(c2, c)
+	status, it := runSimplex(t, basis, c2, total)
+	iters += it
+	if status == StatusUnbounded {
+		return &Solution{Status: StatusUnbounded, Iterations: iters}, nil
+	}
+
+	// Extract the solution.
+	xShift := make([]float64, total)
+	for ri, bi := range basis {
+		if bi < total {
+			xShift[bi] = t[ri][total]
+		}
+	}
+	x := make([]float64, n)
+	obj := objShift
+	for i := 0; i < n; i++ {
+		x[i] = lo[i] + xShift[i]
+		obj += c[i] * xShift[i]
+	}
+	if p.Sense == Maximize {
+		obj = -obj
+	}
+	return &Solution{Status: StatusOptimal, X: x, Objective: obj, Iterations: iters}, nil
+}
+
+// runSimplex minimizes cost over the tableau in place using Bland's
+// rule. total is the number of structural columns (RHS excluded). It
+// returns StatusOptimal or StatusUnbounded plus the pivot count.
+func runSimplex(t [][]float64, basis []int, cost []float64, total int) (Status, int) {
+	m := len(t)
+	// Reduced costs: z_j - c_j form. Maintain implicitly: compute the
+	// reduced cost vector each iteration (dense, small problems).
+	iters := 0
+	for {
+		iters++
+		if iters > 20000 {
+			// Bland's rule guarantees termination; this is a backstop
+			// against numerical pathologies.
+			return StatusOptimal, iters
+		}
+		// Compute simplex multipliers via basic costs: reduced cost of
+		// column j is cost[j] - sum_i costB[i] * t[i][j].
+		costB := make([]float64, m)
+		for i, bi := range basis {
+			if bi < total {
+				costB[i] = cost[bi]
+			}
+		}
+		enter := -1
+		for j := 0; j < total; j++ {
+			red := cost[j]
+			for i := 0; i < m; i++ {
+				if costB[i] != 0 {
+					red -= costB[i] * t[i][j]
+				}
+			}
+			if red < -1e-9 {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal, iters
+		}
+		// Ratio test with Bland tie-break on the smallest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > 1e-9 {
+				ratio := t[i][len(t[i])-1] / t[i][enter]
+				if ratio < bestRatio-1e-12 || (math.Abs(ratio-bestRatio) <= 1e-12 && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded, iters
+		}
+		pivot(t, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on t[row][col] and updates basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}

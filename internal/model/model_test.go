@@ -1,0 +1,225 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProfileValidation(t *testing.T) {
+	cases := []struct {
+		bs  []int
+		lat []float64
+	}{
+		{nil, nil},
+		{[]int{1, 2}, []float64{1}},
+		{[]int{0, 2}, []float64{1, 2}},
+		{[]int{2, 1}, []float64{1, 2}},
+		{[]int{1, 2}, []float64{2, 1}},
+		{[]int{1, 2}, []float64{-1, 1}},
+	}
+	for i, c := range cases {
+		if _, err := NewProfile(c.bs, c.lat); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewProfile([]int{1, 4}, []float64{1, 2}); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestProfileInterpolation(t *testing.T) {
+	p, err := NewProfile([]int{1, 4, 8}, []float64{1.0, 2.0, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Latency(1); got != 1.0 {
+		t.Errorf("Latency(1) = %v", got)
+	}
+	if got := p.Latency(4); got != 2.0 {
+		t.Errorf("Latency(4) = %v", got)
+	}
+	// Midpoint between 1 and 4 at b=2: 1 + (1/3)*(2-1)
+	if got := p.Latency(2); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("Latency(2) = %v, want %v", got, 4.0/3)
+	}
+	// Extrapolation beyond 8 uses the final marginal (4-2)/(8-4)=0.5/unit.
+	if got := p.Latency(10); math.Abs(got-5.0) > 1e-12 {
+		t.Errorf("Latency(10) = %v, want 5", got)
+	}
+}
+
+func TestProfileLatencyPanicsOnNonPositive(t *testing.T) {
+	p, _ := NewProfile([]int{1}, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for b=0")
+		}
+	}()
+	p.Latency(0)
+}
+
+func TestProfileThroughputMonotoneForLinear(t *testing.T) {
+	p, err := LinearProfile(1.0, 0.5, StandardBatchSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, b := range StandardBatchSizes {
+		tput := p.Throughput(b)
+		if tput < prev {
+			t.Fatalf("throughput decreased at batch %d: %v < %v", b, tput, prev)
+		}
+		prev = tput
+	}
+}
+
+func TestLinearProfileBaseAndOverhead(t *testing.T) {
+	p, err := LinearProfile(2.0, 0.25, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Latency(1); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("batch-1 latency = %v, want base 2.0", got)
+	}
+	// e(4) = 2 * (0.25 + 0.75*4) = 6.5
+	if got := p.Latency(4); math.Abs(got-6.5) > 1e-12 {
+		t.Errorf("Latency(4) = %v, want 6.5", got)
+	}
+	if _, err := LinearProfile(0, 0.5, []int{1}); err == nil {
+		t.Error("expected error for base 0")
+	}
+	if _, err := LinearProfile(1, 1.0, []int{1}); err == nil {
+		t.Error("expected error for overhead 1")
+	}
+}
+
+func TestBestBatchWithin(t *testing.T) {
+	p, _ := NewProfile([]int{1, 2, 4, 8}, []float64{1, 1.5, 2.5, 4.5})
+	b, ok := p.BestBatchWithin(3.0)
+	if !ok || b != 4 {
+		t.Errorf("BestBatchWithin(3) = %d, %v; want 4, true", b, ok)
+	}
+	if _, ok := p.BestBatchWithin(0.5); ok {
+		t.Error("BestBatchWithin below batch-1 latency should fail")
+	}
+	b, ok = p.BestBatchWithin(100)
+	if !ok || b != 8 {
+		t.Errorf("BestBatchWithin(100) = %d, want 8", b)
+	}
+}
+
+func TestProfileInterpolationMonotoneProperty(t *testing.T) {
+	p, err := LinearProfile(1.0, 0.3, StandardBatchSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a := 1 + int(aRaw)%64
+		b := 1 + int(bRaw)%64
+		if a > b {
+			a, b = b, a
+		}
+		return p.Latency(a) <= p.Latency(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryRegisterAndGet(t *testing.T) {
+	r := NewRegistry()
+	v := BuiltinRegistry().MustGet("sdv15")
+	if err := r.Register(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(v); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	got, err := r.Get("sdv15")
+	if err != nil || got != v {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("expected error for unknown variant")
+	}
+	if err := r.Register(&Variant{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register(&Variant{Name: "x"}); err == nil {
+		t.Error("nil latency profile should fail")
+	}
+}
+
+func TestBuiltinRegistryPaperNumbers(t *testing.T) {
+	r := BuiltinRegistry()
+	// Batch-1 latencies from the paper.
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"sdv15", 1.78},
+		{"sdturbo", 0.10},
+		{"sdxs", 0.05},
+		{"sdxl-lightning", 0.50},
+		{"sdxl", 6.0},
+	}
+	for _, c := range cases {
+		v := r.MustGet(c.name)
+		if math.Abs(v.BaseLatency()-c.want) > 1e-9 {
+			t.Errorf("%s base latency = %v, want %v", c.name, v.BaseLatency(), c.want)
+		}
+	}
+	// SDXL is ~4.6x slower than SDXL-Lightning at batch 16 (paper §1).
+	xl := r.MustGet("sdxl").Latency.Latency(16)
+	xll := r.MustGet("sdxl-lightning").Latency.Latency(16)
+	ratio := xl / xll
+	if ratio < 4.0 || ratio > 5.2 {
+		t.Errorf("SDXL/SDXL-Lightning batch-16 ratio = %.2f, want ~4.6", ratio)
+	}
+}
+
+func TestBuiltinCascades(t *testing.T) {
+	specs := BuiltinCascades()
+	if len(specs) != 3 {
+		t.Fatalf("want 3 cascades, got %d", len(specs))
+	}
+	r := BuiltinRegistry()
+	for _, s := range specs {
+		light := r.MustGet(s.Light)
+		heavy := r.MustGet(s.Heavy)
+		if light.BaseLatency() >= heavy.BaseLatency() {
+			t.Errorf("%s: light %q not faster than heavy %q", s.Name, s.Light, s.Heavy)
+		}
+		if s.SLOSeconds <= 0 {
+			t.Errorf("%s: SLO must be positive", s.Name)
+		}
+	}
+	if _, err := CascadeByName("cascade2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := CascadeByName("bogus"); err == nil {
+		t.Error("expected error for unknown cascade")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := BuiltinRegistry().Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	if len(names) != 8 {
+		t.Errorf("builtin registry has %d variants, want 8", len(names))
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on missing variant should panic")
+		}
+	}()
+	NewRegistry().MustGet("missing")
+}

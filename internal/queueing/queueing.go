@@ -1,0 +1,165 @@
+// Package queueing provides the FIFO query queues used by workers and
+// the Little's-law waiting-time estimation that DiffServe's resource
+// allocator relies on (paper §3.3): W = L / lambda, where L is the
+// observed queue length and lambda the arrival rate.
+package queueing
+
+import (
+	"math"
+)
+
+// Item is a queued unit of work with its enqueue time.
+type Item struct {
+	ID      int
+	Arrival float64 // time the query entered the system
+	Enqueue float64 // time the item joined this queue
+	Payload interface{}
+}
+
+// FIFO is a first-in-first-out queue with arrival-rate tracking.
+// It is not safe for concurrent use; the simulator is single-threaded
+// and the cluster runtime wraps it in a mutex.
+type FIFO struct {
+	items []Item
+	// arrival-rate window
+	arrivals   []float64
+	windowSecs float64
+	// counters
+	enqueued, dequeued int
+}
+
+// NewFIFO returns a queue whose arrival rate is estimated over the
+// given trailing window (seconds). A non-positive window defaults to
+// 10 seconds.
+func NewFIFO(windowSecs float64) *FIFO {
+	if windowSecs <= 0 {
+		windowSecs = 10
+	}
+	return &FIFO{windowSecs: windowSecs}
+}
+
+// Push enqueues an item at time now.
+func (q *FIFO) Push(now float64, it Item) {
+	it.Enqueue = now
+	q.items = append(q.items, it)
+	q.arrivals = append(q.arrivals, now)
+	q.enqueued++
+	q.trim(now)
+}
+
+// Pop dequeues up to n items at time now. It returns fewer when the
+// queue holds fewer.
+func (q *FIFO) Pop(now float64, n int) []Item {
+	if n <= 0 || len(q.items) == 0 {
+		return nil
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]Item, n)
+	copy(out, q.items[:n])
+	q.items = append(q.items[:0], q.items[n:]...)
+	q.dequeued += n
+	q.trim(now)
+	return out
+}
+
+// PeekDeadline returns the arrival time of the oldest queued item and
+// true, or 0 and false when empty.
+func (q *FIFO) PeekDeadline() (float64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].Arrival, true
+}
+
+// PeekEnqueue returns the enqueue time of the oldest queued item and
+// true, or 0 and false when empty. Batch-coalescing dispatchers use
+// this to bound how long the head of the queue waits for a batch to
+// fill.
+func (q *FIFO) PeekEnqueue() (float64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].Enqueue, true
+}
+
+// DropWhere removes queued items for which drop returns true,
+// returning the removed items (used for deadline-based shedding).
+func (q *FIFO) DropWhere(drop func(Item) bool) []Item {
+	var removed []Item
+	kept := q.items[:0]
+	for _, it := range q.items {
+		if drop(it) {
+			removed = append(removed, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	q.items = kept
+	return removed
+}
+
+// Len returns the current queue length.
+func (q *FIFO) Len() int { return len(q.items) }
+
+// Enqueued returns the lifetime number of enqueued items.
+func (q *FIFO) Enqueued() int { return q.enqueued }
+
+// trim drops arrival records older than the rate window.
+func (q *FIFO) trim(now float64) {
+	cut := now - q.windowSecs
+	i := 0
+	for i < len(q.arrivals) && q.arrivals[i] < cut {
+		i++
+	}
+	if i > 0 {
+		q.arrivals = append(q.arrivals[:0], q.arrivals[i:]...)
+	}
+}
+
+// ArrivalRate estimates the recent arrival rate (items/second) over
+// the trailing window at time now.
+func (q *FIFO) ArrivalRate(now float64) float64 {
+	q.trim(now)
+	if len(q.arrivals) == 0 {
+		return 0
+	}
+	span := q.windowSecs
+	if now < span {
+		span = math.Max(now, 1e-9)
+	}
+	return float64(len(q.arrivals)) / span
+}
+
+// LittleWait estimates the queuing delay via Little's law from a queue
+// length and an arrival rate. A zero arrival rate yields zero wait for
+// an empty queue, and +Inf for a non-empty one (the queue cannot drain
+// through arrivals-based accounting).
+func LittleWait(queueLen int, arrivalRate float64) float64 {
+	if queueLen == 0 {
+		return 0
+	}
+	if arrivalRate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(queueLen) / arrivalRate
+}
+
+// Snapshot is a point-in-time view of queue state consumed by the
+// controller.
+type Snapshot struct {
+	Len         int
+	ArrivalRate float64
+	LittleWait  float64
+}
+
+// Snap builds a Snapshot at time now.
+func (q *FIFO) Snap(now float64) Snapshot {
+	rate := q.ArrivalRate(now)
+	return Snapshot{
+		Len:         q.Len(),
+		ArrivalRate: rate,
+		LittleWait:  LittleWait(q.Len(), rate),
+	}
+}

@@ -1,0 +1,127 @@
+package simring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want horizon 10", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	ran := []float64{}
+	s.At(1, func() { ran = append(ran, 1) })
+	s.At(5, func() { ran = append(ran, 5) })
+	n := s.Run(3)
+	if n != 1 || len(ran) != 1 {
+		t.Errorf("Run(3) executed %d events: %v", n, ran)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	// Event exactly at the horizon still runs.
+	n = s.Run(5)
+	if n != 1 || len(ran) != 2 {
+		t.Errorf("horizon-inclusive run failed: %v", ran)
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New()
+	var times []float64
+	s.At(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run(10)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(100, func() { count++ })
+	s.At(1e6, func() { count++ })
+	if n := s.Drain(); n != 2 || count != 2 {
+		t.Errorf("Drain ran %d", n)
+	}
+	if s.Executed() != 2 {
+		t.Errorf("Executed = %d", s.Executed())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestInvalidTimesPanics(t *testing.T) {
+	s := New()
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("time %v should panic", bad)
+				}
+			}()
+			s.At(bad, func() {})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay should panic")
+			}
+		}()
+		s.After(-1, func() {})
+	}()
+}
+
+func TestClockMonotoneAcrossRuns(t *testing.T) {
+	s := New()
+	s.Run(5)
+	if s.Now() != 5 {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Run(3) // horizon behind clock: no-op
+	if s.Now() != 5 {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}

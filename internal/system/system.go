@@ -1,0 +1,451 @@
+// Package system wires the complete DiffServe serving system inside a
+// discrete-event simulator: trace-driven Poisson arrivals enter the
+// load balancer, workers batch and execute model inference using
+// profiled latencies, the discriminator cascades low-confidence
+// queries from the light to the heavy pool, and the controller
+// periodically re-solves resource allocation — the simulator
+// counterpart of the paper's testbed (§4.1).
+//
+// One deliberate simplification: queues live at pool granularity (one
+// light queue, one heavy queue) rather than per worker. Idle workers
+// pull from their pool's queue, which is work-conserving and
+// equivalent to per-worker queues with join-shortest-queue dispatch;
+// the controller's Little's-law inputs aggregate identically.
+package system
+
+import (
+	"fmt"
+	"math"
+
+	"diffserve/internal/allocator"
+	"diffserve/internal/controller"
+	"diffserve/internal/discriminator"
+	"diffserve/internal/fid"
+	"diffserve/internal/imagespace"
+	"diffserve/internal/loadbalancer"
+	"diffserve/internal/metrics"
+	"diffserve/internal/model"
+	"diffserve/internal/queueing"
+	"diffserve/internal/simring"
+	"diffserve/internal/stats"
+	"diffserve/internal/trace"
+	"diffserve/internal/worker"
+)
+
+// Config assembles a full serving system.
+type Config struct {
+	// Space generates queries and images.
+	Space *imagespace.Space
+	// Light and Heavy are the cascade's variants.
+	Light, Heavy *model.Variant
+	// Scorer is the cascade discriminator (used in ModeCascade).
+	Scorer discriminator.Scorer
+	// Workers is the device count S.
+	Workers int
+	// SLO is the latency deadline in seconds.
+	SLO float64
+	// Trace drives arrivals.
+	Trace *trace.Trace
+	// Controller owns the allocator and control loop settings.
+	Controller *controller.Controller
+	// Mode selects the routing policy.
+	Mode loadbalancer.Mode
+	// Seed drives arrival synthesis and random routing.
+	Seed uint64
+	// QueueWindow sizes arrival-rate estimation windows (default 10s).
+	QueueWindow float64
+	// DisableDrop turns off predicted-deadline-miss shedding.
+	DisableDrop bool
+	// DisableModelLoadDelay makes role switches instantaneous (used by
+	// tests and the simulator-vs-cluster comparison).
+	DisableModelLoadDelay bool
+	// QueryIDBase offsets query IDs so distinct experiments can draw
+	// disjoint query populations from the same space.
+	QueryIDBase int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Space == nil:
+		return fmt.Errorf("system: Space required")
+	case c.Light == nil || c.Heavy == nil:
+		return fmt.Errorf("system: Light and Heavy variants required")
+	case c.Scorer == nil && c.Mode == loadbalancer.ModeCascade:
+		return fmt.Errorf("system: Scorer required in cascade mode")
+	case c.Workers <= 0:
+		return fmt.Errorf("system: Workers must be positive")
+	case c.SLO <= 0:
+		return fmt.Errorf("system: SLO must be positive")
+	case c.Trace == nil:
+		return fmt.Errorf("system: Trace required")
+	case c.Controller == nil:
+		return fmt.Errorf("system: Controller required")
+	}
+	return nil
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Collector holds every query record.
+	Collector *metrics.Collector
+	// Reference holds the ground-truth image moments of all arrived
+	// queries, for FID scoring.
+	Reference *fid.Reference
+	// Plans is the controller's plan log.
+	Plans []controller.PlanAt
+	// Queries is the number of arrivals.
+	Queries int
+	// MeanSolveSeconds is the allocator's average solve time.
+	MeanSolveSeconds float64
+}
+
+// Summary computes the end-to-end summary against the run's own
+// reference set.
+func (r *Result) Summary() metrics.Summary { return r.Collector.Summarize(r.Reference) }
+
+// System is a runnable simulated serving system.
+type System struct {
+	cfg Config
+	sim *simring.Sim
+	lb  *loadbalancer.LB
+	ws  []*worker.Worker
+	col *metrics.Collector
+	rng *stats.RNG
+
+	threshold float64
+	plan      allocator.Plan
+
+	arrivalsSinceTick int
+	violationsSince   int
+
+	queries map[int]*imagespace.Query
+}
+
+// New builds a system from the config.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueWindow <= 0 {
+		cfg.QueueWindow = 10
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	s := &System{
+		cfg:     cfg,
+		sim:     simring.New(),
+		lb:      loadbalancer.New(cfg.Mode, cfg.QueueWindow, rng),
+		col:     metrics.NewCollector(),
+		rng:     rng,
+		queries: make(map[int]*imagespace.Query),
+	}
+	s.ws = make([]*worker.Worker, cfg.Workers)
+	for i := range s.ws {
+		s.ws[i] = worker.New(i)
+	}
+	return s, nil
+}
+
+// discLatency returns the per-image discriminator cost (zero outside
+// cascade mode: the Clipper/Proteus baselines run no discriminator).
+func (s *System) discLatency() float64 {
+	if s.cfg.Mode != loadbalancer.ModeCascade || s.cfg.Scorer == nil {
+		return 0
+	}
+	return s.cfg.Scorer.PerImageLatency()
+}
+
+// lightExec is the light pool's batch execution latency for n queries.
+func (s *System) lightExec(n int) float64 {
+	return s.cfg.Light.Latency.Latency(n) + float64(n)*s.discLatency()
+}
+
+// heavyExec is the heavy pool's batch execution latency for n queries.
+func (s *System) heavyExec(n int) float64 {
+	return s.cfg.Heavy.Latency.Latency(n)
+}
+
+// Run simulates the full trace and returns the result.
+func (s *System) Run() (*Result, error) {
+	// Synthesize arrivals and pre-sample the query population.
+	arrivals := s.cfg.Trace.Arrivals(s.rng.Stream("trace"))
+	realFeats := make([][]float64, len(arrivals))
+	for i, at := range arrivals {
+		id := s.cfg.QueryIDBase + i
+		q := s.cfg.Space.SampleQuery(id)
+		s.queries[id] = q
+		realFeats[i] = s.cfg.Space.RealImage(q)
+		at, id := at, id
+		s.sim.At(at, func() { s.onArrival(id, at) })
+	}
+
+	// Initial plan from the trace's starting rate, then periodic ticks.
+	initialPlan, err := s.cfg.Controller.Tick(0, controller.TickInput{
+		Arrivals: int(math.Round(s.cfg.Trace.RateAt(0) * s.cfg.Controller.Interval())),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.applyPlan(0, initialPlan, true)
+
+	interval := s.cfg.Controller.Interval()
+	horizon := s.cfg.Trace.Duration()
+	for t := interval; t <= horizon; t += interval {
+		t := t
+		s.sim.At(t, func() { s.onControlTick(t) })
+	}
+
+	// Run to the horizon plus a grace period that lets queued work
+	// drain, then mark whatever is still queued as dropped.
+	grace := 3*s.cfg.SLO + s.heavyExec(s.cfg.Heavy.Latency.MaxBatch())
+	s.sim.Run(horizon + grace)
+	s.sim.Drain()
+	s.dropRemaining()
+
+	ref, err := fid.NewReference(realFeats)
+	if err != nil {
+		return nil, fmt.Errorf("system: building FID reference: %w", err)
+	}
+	return &Result{
+		Collector:        s.col,
+		Reference:        ref,
+		Plans:            s.cfg.Controller.Plans(),
+		Queries:          len(arrivals),
+		MeanSolveSeconds: s.cfg.Controller.MeanSolveSeconds(),
+	}, nil
+}
+
+// onArrival admits a query into the system.
+func (s *System) onArrival(id int, at float64) {
+	s.arrivalsSinceTick++
+	it := queueing.Item{ID: id, Arrival: at}
+	s.lb.Route(s.sim.Now(), it)
+	s.dispatchAll()
+}
+
+// shedExpired drops queued items that can no longer meet their
+// deadline even with immediate minimal service. Running this on the
+// control tick (not only at dispatch) keeps queue state honest when a
+// pool temporarily has no workers — otherwise stranded items inflate
+// the Little's-law wait forever and wedge the allocator in its
+// best-effort fallback.
+func (s *System) shedExpired() {
+	if s.cfg.DisableDrop {
+		return
+	}
+	now := s.sim.Now()
+	for _, pool := range []loadbalancer.PoolID{loadbalancer.PoolLight, loadbalancer.PoolHeavy} {
+		exec := s.execFor(pool, 1)
+		for _, it := range s.lb.Queue(pool).DropWhere(func(it queueing.Item) bool {
+			return now+exec > it.Arrival+s.cfg.SLO
+		}) {
+			s.recordDrop(it)
+		}
+	}
+}
+
+// onControlTick runs one control period.
+func (s *System) onControlTick(t float64) {
+	s.shedExpired()
+	snap := s.lb.Snap(t)
+	in := controller.TickInput{
+		Arrivals:         s.arrivalsSinceTick,
+		LightQueueLen:    snap.Light.Len,
+		HeavyQueueLen:    snap.Heavy.Len,
+		LightArrivalRate: snap.Light.ArrivalRate,
+		HeavyArrivalRate: snap.Heavy.ArrivalRate,
+		SLOTimeouts:      s.violationsSince,
+	}
+	s.arrivalsSinceTick = 0
+	s.violationsSince = 0
+	plan, err := s.cfg.Controller.Tick(t, in)
+	if err != nil {
+		// Control failures must not halt the data path; keep the
+		// previous plan.
+		return
+	}
+	s.applyPlan(t, plan, false)
+	s.dispatchAll()
+}
+
+// applyPlan reconfigures threshold, batch sizes, and worker roles.
+func (s *System) applyPlan(now float64, plan allocator.Plan, initial bool) {
+	s.plan = plan
+	s.threshold = plan.Threshold
+	if s.cfg.Mode == loadbalancer.ModeRandomSplit {
+		s.lb.SetSplit(plan.DeferFraction)
+	}
+
+	// Decide target roles, preferring to keep workers in place.
+	needLight, needHeavy := plan.LightWorkers, plan.HeavyWorkers
+	if needLight+needHeavy > len(s.ws) {
+		needHeavy = len(s.ws) - needLight
+		if needHeavy < 0 {
+			needLight, needHeavy = len(s.ws), 0
+		}
+	}
+	var keepLight, keepHeavy, rest []*worker.Worker
+	for _, w := range s.ws {
+		switch {
+		case w.Role() == worker.RoleLight && len(keepLight) < needLight:
+			keepLight = append(keepLight, w)
+		case w.Role() == worker.RoleHeavy && len(keepHeavy) < needHeavy:
+			keepHeavy = append(keepHeavy, w)
+		default:
+			rest = append(rest, w)
+		}
+	}
+	assign := func(w *worker.Worker, role worker.Role, batch int, load float64) {
+		if s.cfg.DisableModelLoadDelay || initial {
+			load = 0
+		}
+		w.Assign(now, role, batch, load)
+		if at, ok := w.ReadyAt(); ok && at > now {
+			at := at
+			s.sim.At(at, func() { s.dispatchAll() })
+		}
+	}
+	for _, w := range keepLight {
+		assign(w, worker.RoleLight, plan.LightBatch, 0)
+	}
+	for _, w := range keepHeavy {
+		assign(w, worker.RoleHeavy, plan.HeavyBatch, 0)
+	}
+	for _, w := range rest {
+		switch {
+		case len(keepLight) < needLight:
+			assign(w, worker.RoleLight, plan.LightBatch, s.cfg.Light.LoadSeconds)
+			keepLight = append(keepLight, w)
+		case len(keepHeavy) < needHeavy:
+			assign(w, worker.RoleHeavy, plan.HeavyBatch, s.cfg.Heavy.LoadSeconds)
+			keepHeavy = append(keepHeavy, w)
+		default:
+			assign(w, worker.RoleIdle, 0, 0)
+		}
+	}
+}
+
+// dispatchAll starts batches on every available worker with queued work.
+func (s *System) dispatchAll() {
+	now := s.sim.Now()
+	for _, w := range s.ws {
+		if !w.Available(now) {
+			continue
+		}
+		switch w.Role() {
+		case worker.RoleLight:
+			s.dispatch(w, loadbalancer.PoolLight)
+		case worker.RoleHeavy:
+			s.dispatch(w, loadbalancer.PoolHeavy)
+		}
+	}
+}
+
+// dispatch pulls work for one available worker from its pool queue.
+func (s *System) dispatch(w *worker.Worker, pool loadbalancer.PoolID) {
+	now := s.sim.Now()
+	q := s.lb.Queue(pool)
+
+	// Predicted-deadline-miss shedding: drop queries that cannot
+	// finish in time even if started immediately.
+	if !s.cfg.DisableDrop {
+		exec := s.execFor(pool, 1)
+		dropped := q.DropWhere(func(it queueing.Item) bool {
+			return now+exec > it.Arrival+s.cfg.SLO
+		})
+		for _, it := range dropped {
+			s.recordDrop(it)
+		}
+	}
+
+	items := q.Pop(now, w.Batch())
+	if len(items) == 0 {
+		return
+	}
+	exec := s.execFor(pool, len(items))
+	done := w.StartBatch(now, len(items), exec)
+	s.sim.At(done, func() { s.onBatchDone(w, pool, items) })
+}
+
+// execFor returns the batch execution latency for a pool.
+func (s *System) execFor(pool loadbalancer.PoolID, n int) float64 {
+	if pool == loadbalancer.PoolHeavy {
+		return s.heavyExec(n)
+	}
+	return s.lightExec(n)
+}
+
+// onBatchDone finalizes a batch: generates images, applies the
+// cascade's discriminator, completes or defers each query.
+func (s *System) onBatchDone(w *worker.Worker, pool loadbalancer.PoolID, items []queueing.Item) {
+	now := s.sim.Now()
+	for _, it := range items {
+		q := s.queries[it.ID]
+		if q == nil {
+			continue // cannot happen; defensive
+		}
+		if pool == loadbalancer.PoolHeavy {
+			img := s.cfg.Space.GenerateDeterministic(q, s.cfg.Heavy.Name, s.cfg.Heavy.Gen)
+			s.complete(it, img, now, true)
+			continue
+		}
+		img := s.cfg.Space.GenerateDeterministic(q, s.cfg.Light.Name, s.cfg.Light.Gen)
+		if s.cfg.Mode == loadbalancer.ModeCascade {
+			conf := s.cfg.Scorer.Confidence(q, img)
+			if conf < s.threshold {
+				it2 := it
+				s.lb.Defer(now, it2)
+				continue
+			}
+			rec := s.makeRecord(it, img, now, false)
+			rec.Confidence = conf
+			s.record(rec)
+			continue
+		}
+		s.complete(it, img, now, false)
+	}
+	s.dispatchAll()
+}
+
+func (s *System) makeRecord(it queueing.Item, img imagespace.Image, now float64, deferred bool) metrics.QueryRecord {
+	return metrics.QueryRecord{
+		ID:         it.ID,
+		Arrival:    it.Arrival,
+		Completion: now,
+		Deadline:   it.Arrival + s.cfg.SLO,
+		Deferred:   deferred,
+		ServedBy:   img.Variant,
+		Features:   img.Features,
+		Artifact:   img.Artifact,
+	}
+}
+
+func (s *System) complete(it queueing.Item, img imagespace.Image, now float64, deferred bool) {
+	s.record(s.makeRecord(it, img, now, deferred))
+}
+
+func (s *System) record(rec metrics.QueryRecord) {
+	if rec.Violated() {
+		s.violationsSince++
+	}
+	s.col.Record(rec)
+}
+
+func (s *System) recordDrop(it queueing.Item) {
+	s.violationsSince++
+	s.col.Record(metrics.QueryRecord{
+		ID:       it.ID,
+		Arrival:  it.Arrival,
+		Deadline: it.Arrival + s.cfg.SLO,
+		Dropped:  true,
+	})
+}
+
+// dropRemaining records still-queued items as dropped after the run.
+func (s *System) dropRemaining() {
+	for _, pool := range []loadbalancer.PoolID{loadbalancer.PoolLight, loadbalancer.PoolHeavy} {
+		q := s.lb.Queue(pool)
+		for _, it := range q.Pop(s.sim.Now(), q.Len()) {
+			s.recordDrop(it)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package worker models a GPU worker's serving state machine: the
+// role it currently hosts (light model + discriminator, heavy model,
+// or idle), its configured batch size, busy/loading intervals, and
+// execution accounting. The discrete-event simulator and the HTTP
+// cluster runtime both drive this state machine.
+package worker
+
+import (
+	"fmt"
+)
+
+// Role is the model a worker currently hosts.
+type Role int
+
+// Worker roles.
+const (
+	RoleIdle Role = iota
+	RoleLight
+	RoleHeavy
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleIdle:
+		return "idle"
+	case RoleLight:
+		return "light"
+	case RoleHeavy:
+		return "heavy"
+	}
+	return "unknown"
+}
+
+// Worker is a single device's serving state. It is a passive state
+// machine: the caller owns time and asks the worker what it may do.
+type Worker struct {
+	id    int
+	role  Role
+	batch int
+	// busyUntil is the completion time of the in-flight batch, or 0.
+	busyUntil float64
+	// loadingUntil is when a model switch completes, or 0.
+	loadingUntil float64
+	// lifetime counters
+	batches int
+	queries int
+}
+
+// New returns an idle worker.
+func New(id int) *Worker {
+	return &Worker{id: id, batch: 1}
+}
+
+// ID returns the worker's identifier.
+func (w *Worker) ID() int { return w.id }
+
+// Role returns the current role.
+func (w *Worker) Role() Role { return w.role }
+
+// Batch returns the configured batch size.
+func (w *Worker) Batch() int { return w.batch }
+
+// Batches returns the number of batches executed.
+func (w *Worker) Batches() int { return w.batches }
+
+// Queries returns the number of queries executed.
+func (w *Worker) Queries() int { return w.queries }
+
+// SetBatch reconfigures the batch size without a model switch.
+// It panics on non-positive sizes.
+func (w *Worker) SetBatch(b int) {
+	if b <= 0 {
+		panic(fmt.Sprintf("worker %d: batch must be positive, got %d", w.id, b))
+	}
+	w.batch = b
+}
+
+// Assign switches the worker to a role at time now. A role change
+// incurs loadSeconds of model-loading downtime, beginning after any
+// in-flight batch finishes. Assigning the current role only updates
+// the batch size.
+func (w *Worker) Assign(now float64, role Role, batch int, loadSeconds float64) {
+	if batch > 0 {
+		w.SetBatch(batch)
+	}
+	if role == w.role {
+		return
+	}
+	w.role = role
+	start := now
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	if loadSeconds < 0 {
+		loadSeconds = 0
+	}
+	w.loadingUntil = start + loadSeconds
+}
+
+// Available reports whether the worker can start a batch at time now:
+// it has a serving role, is not mid-batch, and is not loading a model.
+func (w *Worker) Available(now float64) bool {
+	if w.role == RoleIdle {
+		return false
+	}
+	return now >= w.busyUntil && now >= w.loadingUntil
+}
+
+// ReadyAt returns the earliest time the worker could start a batch
+// (ignoring queue availability). Idle-role workers return +Inf via ok=false.
+func (w *Worker) ReadyAt() (float64, bool) {
+	if w.role == RoleIdle {
+		return 0, false
+	}
+	t := w.busyUntil
+	if w.loadingUntil > t {
+		t = w.loadingUntil
+	}
+	return t, true
+}
+
+// StartBatch marks the worker busy executing n queries until
+// now+execSeconds and returns the completion time. It panics when the
+// worker is not available, or n is not positive — both indicate
+// scheduler bugs.
+func (w *Worker) StartBatch(now float64, n int, execSeconds float64) float64 {
+	if !w.Available(now) {
+		panic(fmt.Sprintf("worker %d: StartBatch while unavailable at %v", w.id, now))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("worker %d: empty batch", w.id))
+	}
+	if execSeconds < 0 {
+		panic(fmt.Sprintf("worker %d: negative exec time", w.id))
+	}
+	w.busyUntil = now + execSeconds
+	w.batches++
+	w.queries += n
+	return w.busyUntil
+}
+
+// Pool is a set of workers playing the same role.
+type Pool struct {
+	workers []*Worker
+}
+
+// NewPool wraps the given workers.
+func NewPool(ws []*Worker) *Pool { return &Pool{workers: ws} }
+
+// Available returns the workers able to start a batch at time now.
+func (p *Pool) Available(now float64) []*Worker {
+	var out []*Worker
+	for _, w := range p.workers {
+		if w.Available(now) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Size returns the pool size.
+func (p *Pool) Size() int { return len(p.workers) }
