@@ -1,0 +1,32 @@
+# DiffServe reproduction — tier-1 verification and benchmark targets.
+
+GO ?= go
+
+.PHONY: verify fmt-check vet build test bench bench-perf
+
+# verify is the tier-1 gate: formatting, static checks, build, tests.
+verify: fmt-check vet build test
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench regenerates every figure benchmark (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-perf runs just the perf-pipeline benchmarks this refactor
+# tracks (see PERFORMANCE.md).
+bench-perf:
+	$(GO) test -run '^$$' -bench 'Fig5$$|MomentsStreaming|MomentsBatch|GenerateCached|ExperimentsSerial|ExperimentsParallel' -benchmem .

@@ -198,6 +198,81 @@ func fidFixture(b *testing.B) (*fid.Reference, [][]float64) {
 	return ref, feats
 }
 
+// BenchmarkMomentsStreaming measures the streaming-moments path the
+// metrics pipeline now uses for FID: accumulate a 5000-image feature
+// set and finalize the covariance.
+func BenchmarkMomentsStreaming(b *testing.B) {
+	_, feats := fidFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := stats.NewMomentAccumulator(len(feats[0]))
+		for _, f := range feats {
+			acc.Add(f)
+		}
+		if _, err := acc.CovarianceInto(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMomentsBatch is the pre-streaming batch moment computation
+// on the same data, kept for comparison.
+func BenchmarkMomentsBatch(b *testing.B) {
+	_, feats := fidFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := imagespace.Moments(feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateCached measures memoized deterministic generation:
+// steady-state replay of a query population through one variant, as
+// every threshold/approach sweep does after its first pass.
+func BenchmarkGenerateCached(b *testing.B) {
+	rng := stats.NewRNG(3)
+	space, err := imagespace.NewSpace(imagespace.DefaultSpaceConfig(), rng.Stream("space"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := model.BuiltinRegistry().MustGet("sdturbo")
+	queries := space.SampleQueries(0, 1024)
+	for _, q := range queries {
+		space.GenerateDeterministic(q, v.Name, v.Gen)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img := space.GenerateDeterministic(queries[i%len(queries)], v.Name, v.Gen)
+		if img.Features == nil {
+			b.Fatal("missing features")
+		}
+	}
+}
+
+// benchFig8At runs the Fig 8 ablation suite at a fixed worker-pool
+// size (the serial-vs-parallel experiment harness comparison).
+func benchFig8At(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Parallelism = parallelism
+		r, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkExperimentsSerial runs Fig 8's four independent simulation
+// runs on one worker.
+func BenchmarkExperimentsSerial(b *testing.B) { benchFig8At(b, 1) }
+
+// BenchmarkExperimentsParallel runs the same four simulation runs on
+// one worker per available CPU.
+func BenchmarkExperimentsParallel(b *testing.B) { benchFig8At(b, 0) }
+
 // BenchmarkCascadeProcess measures one query through the cascade's
 // offline data path (generate light image, score, maybe defer).
 func BenchmarkCascadeProcess(b *testing.B) {

@@ -1,0 +1,3 @@
+module diffserve
+
+go 1.22

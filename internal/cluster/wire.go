@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -152,8 +153,11 @@ func getJSON(client *http.Client, url string, out interface{}) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Clock converts between wall time and trace time.
+// Clock converts between wall time and trace time. Now and Restart
+// are safe for concurrent use: the harness restarts the clock after
+// setup while worker loops are already reading it.
 type Clock struct {
+	mu        sync.Mutex
 	start     time.Time
 	timescale float64 // wall seconds per trace second
 }
@@ -169,13 +173,20 @@ func NewClock(timescale float64) *Clock {
 
 // Now returns the current trace time in seconds.
 func (c *Clock) Now() float64 {
-	return time.Since(c.start).Seconds() / c.timescale
+	c.mu.Lock()
+	start := c.start
+	c.mu.Unlock()
+	return time.Since(start).Seconds() / c.timescale
 }
 
 // Restart rewinds trace time to zero. The harness calls this after
 // component setup so that setup cost (server startup, the initial
 // MILP solve) does not consume trace time.
-func (c *Clock) Restart() { c.start = time.Now() }
+func (c *Clock) Restart() {
+	c.mu.Lock()
+	c.start = time.Now()
+	c.mu.Unlock()
+}
 
 // SleepTrace blocks for d trace-seconds.
 func (c *Clock) SleepTrace(d float64) {

@@ -26,10 +26,54 @@ package discriminator
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"diffserve/internal/imagespace"
 	"diffserve/internal/stats"
 )
+
+// obsCache memoizes each scorer's per-(variant, query) observation
+// draw. Scores are documented to be deterministic per (scorer, query,
+// image-variant), so the draw — the only stochastic input — is
+// computed once per pair with an allocation-free stream derivation
+// and replayed from the cache afterwards. The cache is synchronized
+// so concurrent simulation runs can share one scorer.
+type obsCache struct {
+	mu      sync.Mutex
+	vals    map[obsKey]float64
+	scratch *stats.RNG
+}
+
+type obsKey struct {
+	variant string
+	id      int
+}
+
+func newObsCache() *obsCache {
+	return &obsCache{vals: make(map[obsKey]float64), scratch: stats.NewRNG(0)}
+}
+
+// sample returns draw applied to the stream
+// base.Stream("v:"+variant).StreamN("q", id), memoized.
+func (c *obsCache) sample(base *stats.RNG, variant string, id int, draw func(*stats.RNG) float64) float64 {
+	k := obsKey{variant: variant, id: id}
+	c.mu.Lock()
+	v, ok := c.vals[k]
+	if !ok {
+		c.scratch.Reseed(stats.StreamNSeedFrom(base.StreamSeed2("v:", variant), "q", id))
+		v = draw(c.scratch)
+		// Bounded like the imagespace memos: past the cap, compute
+		// without storing so long-lived processes stay O(1).
+		if len(c.vals) < maxObsEntries {
+			c.vals[k] = v
+		}
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// maxObsEntries bounds each scorer's observation memo.
+const maxObsEntries = 1 << 20
 
 // Scorer assigns a confidence score in [0, 1] to a generated image;
 // higher means more likely to meet the quality bar. A cascade returns
@@ -110,6 +154,7 @@ type Discriminator struct {
 	cfg    Config
 	traits archTraits
 	rng    *stats.RNG
+	obs    *obsCache
 }
 
 // New constructs a discriminator. rng seeds the observation-noise
@@ -136,7 +181,11 @@ func New(cfg Config, rng *stats.RNG) (*Discriminator, error) {
 		// decision boundaries on top of the structural bias.
 		traits.obsNoise *= 1.4
 	}
-	return &Discriminator{cfg: cfg, traits: traits, rng: rng.Stream("disc:" + string(cfg.Arch) + ":" + string(cfg.Train))}, nil
+	return &Discriminator{
+		cfg: cfg, traits: traits,
+		rng: rng.Stream("disc:" + string(cfg.Arch) + ":" + string(cfg.Train)),
+		obs: newObsCache(),
+	}, nil
 }
 
 // Name implements Scorer.
@@ -155,7 +204,9 @@ func (d *Discriminator) PerImageLatency() float64 { return d.traits.latency }
 
 // Confidence implements Scorer.
 func (d *Discriminator) Confidence(q *imagespace.Query, img imagespace.Image) float64 {
-	noise := d.rng.Stream("v:"+img.Variant).StreamN("q", q.ID).Normal(0, d.traits.obsNoise)
+	noise := d.obs.sample(d.rng, img.Variant, q.ID, func(r *stats.RNG) float64 {
+		return r.Normal(0, d.traits.obsNoise)
+	})
 	observed := img.Artifact + noise
 	var score float64
 	switch d.cfg.Train {
@@ -196,6 +247,7 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 //     different prompt-image pairs".
 type PickScore struct {
 	rng *stats.RNG
+	obs *obsCache
 	// AlignmentWeight scales the image's alignment-axis projection;
 	// QualityWeight scales the (negated) true-quality estimate; Noise
 	// is per-measurement observation noise; Center recenters the
@@ -206,7 +258,7 @@ type PickScore struct {
 // NewPickScore returns a PickScore metric with calibrated weights.
 func NewPickScore(rng *stats.RNG) *PickScore {
 	return &PickScore{
-		rng:             rng.Stream("pickscore"),
+		rng: rng.Stream("pickscore"), obs: newObsCache(),
 		AlignmentWeight: 0.60, QualityWeight: 0.25, Noise: 0.30, Center: 1.4,
 	}
 }
@@ -220,7 +272,9 @@ func (p *PickScore) PerImageLatency() float64 { return 0.012 }
 // Raw returns the unnormalized PickScore, used for Fig 1b score-
 // difference CDFs.
 func (p *PickScore) Raw(q *imagespace.Query, img imagespace.Image) float64 {
-	noise := p.rng.Stream("v:"+img.Variant).StreamN("q", q.ID).Normal(0, p.Noise)
+	noise := p.obs.sample(p.rng, img.Variant, q.ID, func(r *stats.RNG) float64 {
+		return r.Normal(0, p.Noise)
+	})
 	return p.AlignmentWeight*img.Features[0] + p.QualityWeight*(-img.Artifact) + noise
 }
 
@@ -235,13 +289,14 @@ func (p *PickScore) Confidence(q *imagespace.Query, img imagespace.Image) float6
 // different model variants are very close.
 type ClipScore struct {
 	rng                                           *stats.RNG
+	obs                                           *obsCache
 	AlignmentWeight, QualityWeight, Noise, Center float64
 }
 
 // NewClipScore returns a CLIPScore metric with calibrated weights.
 func NewClipScore(rng *stats.RNG) *ClipScore {
 	return &ClipScore{
-		rng:             rng.Stream("clipscore"),
+		rng: rng.Stream("clipscore"), obs: newObsCache(),
 		AlignmentWeight: 0.65, QualityWeight: 0.08, Noise: 0.35, Center: 2.4,
 	}
 }
@@ -254,7 +309,9 @@ func (c *ClipScore) PerImageLatency() float64 { return 0.008 }
 
 // Raw returns the unnormalized CLIPScore.
 func (c *ClipScore) Raw(q *imagespace.Query, img imagespace.Image) float64 {
-	noise := c.rng.Stream("v:"+img.Variant).StreamN("q", q.ID).Normal(0, c.Noise)
+	noise := c.obs.sample(c.rng, img.Variant, q.ID, func(r *stats.RNG) float64 {
+		return r.Normal(0, c.Noise)
+	})
 	return c.AlignmentWeight*img.Features[0] + c.QualityWeight*(-img.Artifact) + noise
 }
 
@@ -268,11 +325,12 @@ func (c *ClipScore) Confidence(q *imagespace.Query, img imagespace.Image) float6
 // fraction t of queries regardless of content.
 type Random struct {
 	rng *stats.RNG
+	obs *obsCache
 }
 
 // NewRandom returns the random baseline scorer.
 func NewRandom(rng *stats.RNG) *Random {
-	return &Random{rng: rng.Stream("random-scorer")}
+	return &Random{rng: rng.Stream("random-scorer"), obs: newObsCache()}
 }
 
 // Name implements Scorer.
@@ -283,7 +341,9 @@ func (r *Random) PerImageLatency() float64 { return 0 }
 
 // Confidence implements Scorer.
 func (r *Random) Confidence(q *imagespace.Query, img imagespace.Image) float64 {
-	return r.rng.Stream("v:"+img.Variant).StreamN("q", q.ID).Float64()
+	return r.obs.sample(r.rng, img.Variant, q.ID, func(rr *stats.RNG) float64 {
+		return rr.Float64()
+	})
 }
 
 // Oracle scores with the ground-truth artifact magnitude and no noise —

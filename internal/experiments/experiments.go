@@ -46,6 +46,11 @@ type Config struct {
 	TraceDuration float64
 	// Short shrinks everything for quick runs and tests.
 	Short bool
+	// Parallelism caps the worker pool used to fan out independent
+	// simulation runs (approaches, loads, sweep points). 0 uses one
+	// worker per available CPU; 1 forces serial execution. Results are
+	// bit-for-bit identical at every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

@@ -43,8 +43,9 @@ func ReuseStudy(cfg Config) (*ReuseResult, error) {
 		return nil, err
 	}
 
-	out := &ReuseResult{}
-	for _, pairSpec := range [][2]string{{"sdturbo", "sdv15"}, {"sdxs", "sdv15"}} {
+	pairs := [][2]string{{"sdturbo", "sdv15"}, {"sdxs", "sdv15"}}
+	rows, err := fanOut(cfg.Parallelism, len(pairs), func(p int) (ReuseRow, error) {
+		pairSpec := pairs[p]
 		light, heavy := reg.MustGet(pairSpec[0]), reg.MustGet(pairSpec[1])
 		fresh := make([][]float64, len(queries))
 		reuse := make([][]float64, len(queries))
@@ -55,18 +56,21 @@ func ReuseStudy(cfg Config) (*ReuseResult, error) {
 		}
 		fidFresh, err := ref.Score(fresh)
 		if err != nil {
-			return nil, err
+			return ReuseRow{}, err
 		}
 		fidReuse, err := ref.Score(reuse)
 		if err != nil {
-			return nil, err
+			return ReuseRow{}, err
 		}
-		out.Rows = append(out.Rows, ReuseRow{
+		return ReuseRow{
 			Pair:     pairSpec[0] + "->" + pairSpec[1],
 			FIDFresh: fidFresh, FIDReuse: fidReuse,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &ReuseResult{Rows: rows}, nil
 }
 
 // Render writes the reuse study table.

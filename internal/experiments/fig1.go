@@ -62,6 +62,12 @@ func Fig1a(cfg Config) (*Fig1aResult, error) {
 	}
 
 	out := &Fig1aResult{Curves: map[string]map[string][]Fig1aPoint{}}
+	type curveJob struct {
+		pairKey      string
+		light, heavy *model.Variant
+		scorer       discriminator.Scorer
+	}
+	var jobs []curveJob
 	for _, pairSpec := range [][2]string{{"sdturbo", "sdv15"}, {"sdxs", "sdv15"}} {
 		light, heavy := reg.MustGet(pairSpec[0]), reg.MustGet(pairSpec[1])
 		pairKey := pairSpec[0] + "+" + pairSpec[1]
@@ -80,29 +86,38 @@ func Fig1a(cfg Config) (*Fig1aResult, error) {
 			discriminator.NewClipScore(rng.Stream("clip:" + pairKey)),
 		}
 		for _, s := range scorers {
-			curve, err := cascadeCurve(space, light, heavy, s, queries, ref, fracs)
-			if err != nil {
-				return nil, err
-			}
-			out.Curves[pairKey][s.Name()] = curve
+			jobs = append(jobs, curveJob{pairKey: pairKey, light: light, heavy: heavy, scorer: s})
 		}
+	}
+	curves, err := fanOut(cfg.Parallelism, len(jobs), func(i int) ([]Fig1aPoint, error) {
+		j := jobs[i]
+		return cascadeCurve(space, j.light, j.heavy, j.scorer, queries, ref, fracs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, curve := range curves {
+		out.Curves[jobs[i].pairKey][jobs[i].scorer.Name()] = curve
 	}
 
 	// Standalone variant scatter.
-	for _, name := range reg.Names() {
-		v := reg.MustGet(name)
+	names := reg.Names()
+	variants, err := fanOut(cfg.Parallelism, len(names), func(i int) (VariantPoint, error) {
+		v := reg.MustGet(names[i])
 		feats := make([][]float64, len(queries))
-		for i, q := range queries {
-			feats[i] = space.GenerateDeterministic(q, v.Name, v.Gen).Features
+		for k, q := range queries {
+			feats[k] = space.GenerateDeterministic(q, v.Name, v.Gen).Features
 		}
 		score, err := ref.Score(feats)
 		if err != nil {
-			return nil, err
+			return VariantPoint{}, err
 		}
-		out.Variants = append(out.Variants, VariantPoint{
-			Variant: v.DisplayName, Latency: v.BaseLatency(), FID: score,
-		})
+		return VariantPoint{Variant: v.DisplayName, Latency: v.BaseLatency(), FID: score}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Variants = variants
 	sort.Slice(out.Variants, func(i, j int) bool { return out.Variants[i].Latency < out.Variants[j].Latency })
 	return out, nil
 }
@@ -295,19 +310,22 @@ func Fig1c(cfg Config) (*Fig1cResult, error) {
 	}
 
 	// Precompute the FID for each deferral fraction (it depends only
-	// on the threshold, not on batches/placement).
-	fidAt := map[float64]float64{}
-	for _, f := range fracGrid {
-		thr := prof.ThresholdForFraction(f)
+	// on the threshold, not on batches/placement). Sweep points are
+	// independent, so they fan out across the worker pool.
+	fidVals, err := fanOut(cfg.Parallelism, len(fracGrid), func(i int) (float64, error) {
+		thr := prof.ThresholdForFraction(fracGrid[i])
 		feats := make([][]float64, len(queries))
-		for i, q := range queries {
-			feats[i] = casc.Process(q, thr).Served.Features
+		for k, q := range queries {
+			feats[k] = casc.Process(q, thr).Served.Features
 		}
-		v, err := ref.Score(feats)
-		if err != nil {
-			return nil, err
-		}
-		fidAt[f] = v
+		return ref.Score(feats)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fidAt := map[float64]float64{}
+	for i, f := range fracGrid {
+		fidAt[f] = fidVals[i]
 	}
 
 	out := &Fig1cResult{}

@@ -48,6 +48,12 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	}
 
 	out := &Fig7Result{Curves: map[string]map[string][]Fig1aPoint{}}
+	type curveJob struct {
+		pairKey      string
+		light, heavy *model.Variant
+		disc         *discriminator.Discriminator
+	}
+	var jobs []curveJob
 	for _, pairSpec := range [][2]string{{"sdturbo", "sdv15"}, {"sdxs", "sdv15"}} {
 		light, heavy := reg.MustGet(pairSpec[0]), reg.MustGet(pairSpec[1])
 		pairKey := pairSpec[0] + "+" + pairSpec[1]
@@ -64,12 +70,18 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			curve, err := cascadeCurve(space, light, heavy, d, queries, ref, fracs)
-			if err != nil {
-				return nil, err
-			}
-			out.Curves[pairKey][d.Name()] = curve
+			jobs = append(jobs, curveJob{pairKey: pairKey, light: light, heavy: heavy, disc: d})
 		}
+	}
+	curves, err := fanOut(cfg.Parallelism, len(jobs), func(i int) ([]Fig1aPoint, error) {
+		j := jobs[i]
+		return cascadeCurve(space, j.light, j.heavy, j.disc, queries, ref, fracs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, curve := range curves {
+		out.Curves[jobs[i].pairKey][jobs[i].disc.Name()] = curve
 	}
 	return out, nil
 }
@@ -114,13 +126,17 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		return nil, err
 	}
 	out := &Fig8Result{Timelines: map[string][]TimelineBucket{}}
-	for _, app := range baselines.Ablations() {
-		sum, buckets, err := runOnTrace(env, app, tr, baselines.Options{Workers: cfg.Workers})
-		if err != nil {
-			return nil, err
-		}
-		out.Summaries = append(out.Summaries, sum)
-		out.Timelines[string(app)] = buckets
+	apps := baselines.Ablations()
+	runs, err := fanOut(cfg.Parallelism, len(apps), func(i int) (approachRun, error) {
+		sum, buckets, err := runOnTrace(env, apps[i], tr, baselines.Options{Workers: cfg.Workers})
+		return approachRun{sum: sum, buckets: buckets}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		out.Summaries = append(out.Summaries, r.sum)
+		out.Timelines[string(apps[i])] = r.buckets
 	}
 	return out, nil
 }
@@ -154,19 +170,21 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	if cfg.Short {
 		slos = []float64{3, 5, 10}
 	}
-	out := &Fig9Result{}
-	for _, slo := range slos {
+	points, err := fanOut(cfg.Parallelism, len(slos), func(i int) (Fig9Point, error) {
 		env, err := baselines.NewEnv("cascade1", cfg.Seed+19, minInt(cfg.Queries, 2000))
 		if err != nil {
-			return nil, err
+			return Fig9Point{}, err
 		}
-		sum, _, err := runOnTrace(env, baselines.DiffServe, tr, baselines.Options{Workers: cfg.Workers, SLO: slo})
+		sum, _, err := runOnTrace(env, baselines.DiffServe, tr, baselines.Options{Workers: cfg.Workers, SLO: slos[i]})
 		if err != nil {
-			return nil, err
+			return Fig9Point{}, err
 		}
-		out.Points = append(out.Points, Fig9Point{SLO: slo, FID: sum.FID, ViolationRatio: sum.ViolationRatio})
+		return Fig9Point{SLO: slos[i], FID: sum.FID, ViolationRatio: sum.ViolationRatio}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig9Result{Points: points}, nil
 }
 
 // Render writes the Fig 9 table.

@@ -71,38 +71,62 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	}
 
 	out := &Fig4Result{Loads: map[string][]Fig4Point{}, QPS: loads}
-	for label, qps := range loads {
-		tr, err := trace.Static(qps, duration, 1)
+
+	// Flatten (load, approach, over-provision) into one deterministic
+	// job list so independent runs fan out across the worker pool.
+	labels := []string{"low", "medium", "high"}
+	type fig4Job struct {
+		label string
+		app   baselines.Approach
+		op    float64 // 0 for the static baselines
+	}
+	var jobs []fig4Job
+	for _, label := range labels {
+		for _, app := range []baselines.Approach{baselines.ClipperLight, baselines.ClipperHeavy} {
+			jobs = append(jobs, fig4Job{label: label, app: app})
+		}
+		for _, app := range []baselines.Approach{baselines.Proteus, baselines.DiffServe} {
+			for _, op := range sweep {
+				jobs = append(jobs, fig4Job{label: label, app: app, op: op})
+			}
+		}
+	}
+
+	// Fresh env and trace per load level keeps approaches comparable
+	// within the level while isolating RNG streams; runs within a
+	// level share the env (its generation cache is synchronized).
+	envs := map[string]*baselines.Env{}
+	trs := map[string]*trace.Trace{}
+	for _, label := range labels {
+		tr, err := trace.Static(loads[label], duration, 1)
 		if err != nil {
 			return nil, err
 		}
-		// Fresh env per load level keeps approaches comparable within
-		// the level while isolating RNG streams.
 		env, err := baselines.NewEnv("cascade1", cfg.Seed+7, minInt(cfg.Queries, 2000))
 		if err != nil {
 			return nil, err
 		}
-		for _, app := range []baselines.Approach{baselines.ClipperLight, baselines.ClipperHeavy} {
-			sum, _, err := runOnTrace(env, app, tr, baselines.Options{Workers: cfg.Workers})
-			if err != nil {
-				return nil, err
-			}
-			out.Loads[label] = append(out.Loads[label], Fig4Point{
-				Approach: string(app), FID: sum.FID, ViolationRatio: sum.ViolationRatio,
-			})
+		envs[label], trs[label] = env, tr
+	}
+
+	points, err := fanOut(cfg.Parallelism, len(jobs), func(i int) (Fig4Point, error) {
+		j := jobs[i]
+		sum, _, err := runOnTrace(envs[j.label], j.app, trs[j.label], baselines.Options{
+			Workers: cfg.Workers, OverProvision: j.op,
+		})
+		if err != nil {
+			return Fig4Point{}, err
 		}
-		for _, app := range []baselines.Approach{baselines.Proteus, baselines.DiffServe} {
-			for _, op := range sweep {
-				sum, _, err := runOnTrace(env, app, tr, baselines.Options{Workers: cfg.Workers, OverProvision: op})
-				if err != nil {
-					return nil, err
-				}
-				out.Loads[label] = append(out.Loads[label], Fig4Point{
-					Approach: string(app), OverProvision: op,
-					FID: sum.FID, ViolationRatio: sum.ViolationRatio,
-				})
-			}
-		}
+		return Fig4Point{
+			Approach: string(j.app), OverProvision: j.op,
+			FID: sum.FID, ViolationRatio: sum.ViolationRatio,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		out.Loads[jobs[i].label] = append(out.Loads[jobs[i].label], p)
 	}
 	return out, nil
 }
@@ -146,15 +170,25 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		return nil, err
 	}
 	out := &Fig5Result{TraceName: tr.Name(), Timelines: map[string][]TimelineBucket{}}
-	for _, app := range baselines.All() {
-		sum, buckets, err := runOnTrace(env, app, tr, baselines.Options{Workers: cfg.Workers})
-		if err != nil {
-			return nil, err
-		}
-		out.Summaries = append(out.Summaries, sum)
-		out.Timelines[string(app)] = buckets
+	apps := baselines.All()
+	runs, err := fanOut(cfg.Parallelism, len(apps), func(i int) (approachRun, error) {
+		sum, buckets, err := runOnTrace(env, apps[i], tr, baselines.Options{Workers: cfg.Workers})
+		return approachRun{sum: sum, buckets: buckets}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		out.Summaries = append(out.Summaries, r.sum)
+		out.Timelines[string(apps[i])] = r.buckets
 	}
 	return out, nil
+}
+
+// approachRun bundles one simulated run's outputs for fan-out.
+type approachRun struct {
+	sum     Summary
+	buckets []TimelineBucket
 }
 
 // Render writes the Fig 5 summary and timeline.
@@ -202,7 +236,16 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		"cascade2": {4, 32},
 		"cascade3": {1, 8},
 	}
-	for _, name := range []string{"cascade2", "cascade3"} {
+	cascades := []string{"cascade2", "cascade3"}
+	apps := baselines.All()
+	type fig6Job struct {
+		cascade string
+		app     baselines.Approach
+	}
+	var jobs []fig6Job
+	envs := map[string]*baselines.Env{}
+	trs := map[string]*trace.Trace{}
+	for _, name := range cascades {
 		tr, err := azureTrace(cfg, ranges[name][0], ranges[name][1])
 		if err != nil {
 			return nil, err
@@ -211,13 +254,21 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, app := range baselines.All() {
-			sum, _, err := runOnTrace(env, app, tr, baselines.Options{Workers: cfg.Workers})
-			if err != nil {
-				return nil, err
-			}
-			out.Cascades[name] = append(out.Cascades[name], sum)
+		envs[name], trs[name] = env, tr
+		for _, app := range apps {
+			jobs = append(jobs, fig6Job{cascade: name, app: app})
 		}
+	}
+	sums, err := fanOut(cfg.Parallelism, len(jobs), func(i int) (Summary, error) {
+		j := jobs[i]
+		sum, _, err := runOnTrace(envs[j.cascade], j.app, trs[j.cascade], baselines.Options{Workers: cfg.Workers})
+		return sum, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sum := range sums {
+		out.Cascades[jobs[i].cascade] = append(out.Cascades[jobs[i].cascade], sum)
 	}
 	return out, nil
 }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestFig5MatchesPreRefactorGolden renders Figure 5 at the fixed test
+// seed and compares it byte-for-byte against the output captured from
+// the pre-refactor (serial, batch-moments, uncached-generation)
+// implementation. This pins down three properties at once: the
+// streaming metrics pipeline reports the same numbers, the generation
+// memo is byte-identical, and the parallel fan-out is deterministic.
+func TestFig5MatchesPreRefactorGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig5_short_seed777.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 777, Short: true, Parallelism: 4}
+	r, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	r.Render(&got)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("Fig5 render diverged from pre-refactor golden.\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}
+
+// TestFanOutSerialParallelIdentical runs the same experiment serially
+// and with a saturated worker pool and requires byte-identical
+// renders: every run owns its seeded RNG streams, so scheduling must
+// not be observable.
+func TestFanOutSerialParallelIdentical(t *testing.T) {
+	serialCfg := Config{Seed: 777, Short: true, Parallelism: 1}
+	parallelCfg := Config{Seed: 777, Short: true, Parallelism: 8}
+	serial, err := Fig8(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig8(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	serial.Render(&a)
+	parallel.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("Fig8 serial and parallel runs diverged.\nserial:\n%s\nparallel:\n%s", a.Bytes(), b.Bytes())
+	}
+	if len(serial.Summaries) != len(parallel.Summaries) {
+		t.Fatalf("summary counts differ: %d vs %d", len(serial.Summaries), len(parallel.Summaries))
+	}
+	for i := range serial.Summaries {
+		if serial.Summaries[i] != parallel.Summaries[i] {
+			t.Errorf("summary %d differs: %+v vs %+v", i, serial.Summaries[i], parallel.Summaries[i])
+		}
+	}
+}
+
+// TestFanOutHelper exercises the pool directly: ordering, error
+// propagation, and the serial fast path.
+func TestFanOutHelper(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := fanOut(workers, 37, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	wantErr := os.ErrInvalid
+	for _, workers := range []int{1, 4} {
+		_, err := fanOut(workers, 10, func(i int) (int, error) {
+			if i >= 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if err != wantErr {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+	if out, err := fanOut(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty fan-out: %v %v", out, err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"diffserve/internal/imagespace"
 	"diffserve/internal/linalg"
+	"diffserve/internal/stats"
 )
 
 // Frechet computes the exact Fréchet distance between two Gaussians
@@ -113,6 +114,46 @@ func ExactReference(dim int) *Reference {
 // reference.
 func (r *Reference) Score(generated [][]float64) (float64, error) {
 	mu, sigma, err := imagespace.Moments(generated)
+	if err != nil {
+		return 0, err
+	}
+	return Frechet(mu, sigma, r.Mu, r.Sigma)
+}
+
+// AccumulatorMoments finalizes a streaming accumulator into the
+// (mean, covariance) pair Frechet consumes, without materializing the
+// underlying feature vectors.
+func AccumulatorMoments(acc *stats.MomentAccumulator) ([]float64, *linalg.Matrix, error) {
+	if acc == nil || acc.Count() < 2 {
+		n := 0
+		if acc != nil {
+			n = acc.Count()
+		}
+		return nil, nil, fmt.Errorf("fid: need >= 2 samples for moments, got %d", n)
+	}
+	sigma := linalg.NewMatrix(acc.Dim(), acc.Dim())
+	if _, err := acc.CovarianceInto(sigma.Data); err != nil {
+		return nil, nil, err
+	}
+	return acc.Mean(), sigma, nil
+}
+
+// NewReferenceFromAccumulator builds a reference from streamed
+// moments, skipping the [][]float64 materialization NewReference pays.
+func NewReferenceFromAccumulator(acc *stats.MomentAccumulator) (*Reference, error) {
+	mu, sigma, err := AccumulatorMoments(acc)
+	if err != nil {
+		return nil, err
+	}
+	return &Reference{Mu: mu, Sigma: sigma}, nil
+}
+
+// ScoreMoments computes the exact FID of a generated set summarized by
+// a streaming moment accumulator — the O(d^2)/O(d^3) finalization path
+// the serving-system metrics pipeline uses instead of re-walking every
+// served feature vector.
+func (r *Reference) ScoreMoments(acc *stats.MomentAccumulator) (float64, error) {
+	mu, sigma, err := AccumulatorMoments(acc)
 	if err != nil {
 		return 0, err
 	}

@@ -39,6 +39,7 @@ package imagespace
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"diffserve/internal/linalg"
 	"diffserve/internal/stats"
@@ -79,7 +80,38 @@ func DefaultSpaceConfig() SpaceConfig {
 type Space struct {
 	cfg SpaceConfig
 	rng *stats.RNG
+
+	// Deterministic generation and query sampling are memoized:
+	// replaying the same query population through different serving
+	// policies or thresholds never regenerates an image or re-samples
+	// a query. All cache state is guarded by mu so concurrent
+	// simulation runs can share one Space.
+	mu      sync.Mutex
+	images  map[genKey]Image
+	queries map[int]*Query
+	dirs    map[dirKey][]float64
+	genRNG  *stats.RNG // scratch RNG reseeded per cache miss
 }
+
+// genKey identifies a deterministic generation: GenParams is part of
+// the key so the cache stays correct even if two variants share a name
+// with different parameters.
+type genKey struct {
+	variant string
+	id      int
+	params  GenParams
+}
+
+// dirKey identifies a memoized artifact direction.
+type dirKey struct {
+	skew float64
+	axis int
+}
+
+// maxCacheEntries bounds each memo map so a long-lived process (e.g.
+// a cluster worker serving an unbounded query stream) cannot grow
+// without limit: past the cap, results are computed but not stored.
+const maxCacheEntries = 1 << 20
 
 // NewSpace constructs a Space. The RNG seeds all query sampling; use
 // distinct streams for distinct datasets.
@@ -93,7 +125,14 @@ func NewSpace(cfg SpaceConfig, rng *stats.RNG) (*Space, error) {
 	if cfg.DifficultyAlpha <= 0 || cfg.DifficultyBeta <= 0 {
 		return nil, fmt.Errorf("imagespace: difficulty Beta parameters must be positive")
 	}
-	return &Space{cfg: cfg, rng: rng}, nil
+	return &Space{
+		cfg:     cfg,
+		rng:     rng,
+		images:  make(map[genKey]Image),
+		queries: make(map[int]*Query),
+		dirs:    make(map[dirKey][]float64),
+		genRNG:  stats.NewRNG(0),
+	}, nil
 }
 
 // Config returns the space configuration.
@@ -111,14 +150,28 @@ type Query struct {
 	Truth      []float64 // ground-truth image feature vector, ~ N(0, I)
 }
 
-// SampleQuery draws a fresh query from the population.
+// SampleQuery draws the query with the given ID from the population.
+// Queries are deterministic per ID and memoized, so replaying the
+// same population across runs returns shared *Query values — treat
+// them as read-only.
 func (s *Space) SampleQuery(id int) *Query {
-	rng := s.rng.StreamN("query", id)
+	s.mu.Lock()
+	if q, ok := s.queries[id]; ok {
+		s.mu.Unlock()
+		return q
+	}
+	// Identical to s.rng.StreamN("query", id) without allocating the
+	// intermediate RNG.
+	s.genRNG.Reseed(stats.StreamNSeedFrom(s.rng.Seed(), "query", id))
 	q := &Query{
 		ID:         id,
-		Difficulty: rng.Beta(s.cfg.DifficultyAlpha, s.cfg.DifficultyBeta),
-		Truth:      rng.NormalVec(nil, s.cfg.Dim, 0, 1),
+		Difficulty: s.genRNG.Beta(s.cfg.DifficultyAlpha, s.cfg.DifficultyBeta),
+		Truth:      s.genRNG.NormalVec(nil, s.cfg.Dim, 0, 1),
 	}
+	if len(s.queries) < maxCacheEntries {
+		s.queries[id] = q
+	}
+	s.mu.Unlock()
 	return q
 }
 
@@ -224,11 +277,16 @@ func (s *Space) artifactDir(skew float64, axis int) []float64 {
 // parameters. rng should be a per-(query, variant) stream so that the
 // same query generated twice by the same variant yields the same image.
 func (s *Space) Generate(q *Query, p GenParams, rng *stats.RNG) Image {
+	return s.generate(q, p, rng, s.artifactDir(p.DirSkew, p.DirAxis))
+}
+
+// generate is Generate with the artifact direction supplied by the
+// caller (so cached directions skip the per-image allocation).
+func (s *Space) generate(q *Query, p GenParams, rng *stats.RNG, dir []float64) Image {
 	a := p.ArtifactBase + p.ArtifactSlope*q.Difficulty + rng.Normal(0, p.ArtifactNoise)
 	if a < 0 {
 		a = 0
 	}
-	dir := s.artifactDir(p.DirSkew, p.DirAxis)
 	feat := make([]float64, s.cfg.Dim)
 	for i := 0; i < s.cfg.Dim; i++ {
 		feat[i] = p.Contraction*q.Truth[i] + a*dir[i] + rng.Normal(0, p.NoiseStd)
@@ -240,11 +298,43 @@ func (s *Space) Generate(q *Query, p GenParams, rng *stats.RNG) Image {
 // query ID and a variant label, guaranteeing reproducibility when the
 // same query is re-generated (e.g. replayed through a different
 // serving policy).
+//
+// Results are memoized per (variant, query, params): replaying the
+// same query population across approaches, thresholds, or sweep
+// points returns the cached image, byte-identical to a fresh
+// generation. The returned Image's Features slice is shared with the
+// cache — treat it as read-only.
 func (s *Space) GenerateDeterministic(q *Query, variant string, p GenParams) Image {
-	rng := s.rng.Stream("gen:"+variant).StreamN("q", q.ID)
-	img := s.Generate(q, p, rng)
+	key := genKey{variant: variant, id: q.ID, params: p}
+	s.mu.Lock()
+	if img, ok := s.images[key]; ok {
+		s.mu.Unlock()
+		return img
+	}
+	// The stream seed is derived without allocating intermediate
+	// strings or RNGs: this hash chain is exactly
+	// rng.Stream("gen:"+variant).StreamN("q", q.ID).
+	seed := stats.StreamNSeedFrom(s.rng.StreamSeed2("gen:", variant), "q", q.ID)
+	s.genRNG.Reseed(seed)
+	img := s.generate(q, p, s.genRNG, s.artifactDirLocked(p.DirSkew, p.DirAxis))
 	img.Variant = variant
+	if len(s.images) < maxCacheEntries {
+		s.images[key] = img
+	}
+	s.mu.Unlock()
 	return img
+}
+
+// artifactDirLocked memoizes artifactDir per (skew, axis). Callers
+// must hold s.mu.
+func (s *Space) artifactDirLocked(skew float64, axis int) []float64 {
+	key := dirKey{skew: skew, axis: axis}
+	if dir, ok := s.dirs[key]; ok {
+		return dir
+	}
+	dir := s.artifactDir(skew, axis)
+	s.dirs[key] = dir
+	return dir
 }
 
 // GenerateWithReuse produces the heavy variant's image when it resumes
@@ -258,6 +348,9 @@ func (s *Space) GenerateDeterministic(q *Query, variant string, p GenParams) Ima
 // critical.
 func (s *Space) GenerateWithReuse(q *Query, heavyName string, heavy GenParams, light Image, lightParams GenParams) Image {
 	img := s.GenerateDeterministic(q, heavyName, heavy)
+	// The deterministic image's features are shared with the memo
+	// cache; copy before mutating them with the reuse leak.
+	img.Features = append([]float64(nil), img.Features...)
 	// Directional compatibility between the variants' artifact modes.
 	dH := s.artifactDir(heavy.DirSkew, heavy.DirAxis)
 	dL := s.artifactDir(lightParams.DirSkew, lightParams.DirAxis)

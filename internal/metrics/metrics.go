@@ -8,7 +8,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"diffserve/internal/fid"
 	"diffserve/internal/stats"
@@ -43,16 +42,77 @@ func (r QueryRecord) Latency() float64 {
 	return r.Completion - r.Arrival
 }
 
-// Collector accumulates query records.
+// Collector accumulates query records. All headline statistics are
+// maintained incrementally at Record time (streaming moments for FID,
+// counters for ratios), so Summarize, FID, and Timeline are cheap
+// finalizations rather than re-scans of every record.
 type Collector struct {
 	records []QueryRecord
+
+	// Streaming per-run state.
+	violated int
+	dropped  int
+	served   int // completed (not dropped)
+	deferred int // completed and served by the heavy model
+	latSum   float64
+	lats     []float64                // completed-query latencies, record order
+	acc      *stats.MomentAccumulator // features of completed queries
+	// dimErr records an inconsistent feature dimensionality seen at
+	// Record time; FID and Timeline surface it as an error, matching
+	// the pre-streaming behavior of the batch moments path.
+	dimErr error
+
+	// Streaming per-bucket state for Timeline, keyed to a bucket
+	// width: built lazily on the first Timeline call and maintained
+	// incrementally by Record afterwards.
+	bucketSecs float64
+	buckets    []bucketAcc
+}
+
+// bucketAcc is the streaming state of one timeline bucket.
+type bucketAcc struct {
+	arrivals, served, dropped, late int
+	// deferredServed counts completed-with-features deferred queries
+	// (the timeline DeferRatio numerator).
+	deferredServed int
+	acc            *stats.MomentAccumulator
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Record appends a query outcome.
-func (c *Collector) Record(r QueryRecord) { c.records = append(c.records, r) }
+// Record appends a query outcome and folds it into the streaming
+// aggregates.
+func (c *Collector) Record(r QueryRecord) {
+	c.records = append(c.records, r)
+	if r.Violated() {
+		c.violated++
+	}
+	if r.Dropped {
+		c.dropped++
+	} else {
+		c.served++
+		if r.Deferred {
+			c.deferred++
+		}
+		lat := r.Completion - r.Arrival
+		c.latSum += lat
+		c.lats = append(c.lats, lat)
+		if r.Features != nil {
+			if c.acc == nil {
+				c.acc = stats.NewMomentAccumulator(len(r.Features))
+			}
+			if len(r.Features) == c.acc.Dim() {
+				c.acc.Add(r.Features)
+			} else if c.dimErr == nil {
+				c.dimErr = fmt.Errorf("metrics: inconsistent feature dims %d vs %d", len(r.Features), c.acc.Dim())
+			}
+		}
+	}
+	if c.bucketSecs > 0 {
+		c.bucketAdd(r)
+	}
+}
 
 // Len returns the number of recorded queries.
 func (c *Collector) Len() int { return len(c.records) }
@@ -65,13 +125,7 @@ func (c *Collector) SLOViolationRatio() float64 {
 	if len(c.records) == 0 {
 		return 0
 	}
-	bad := 0
-	for _, r := range c.records {
-		if r.Violated() {
-			bad++
-		}
-	}
-	return float64(bad) / float64(len(c.records))
+	return float64(c.violated) / float64(len(c.records))
 }
 
 // DropRatio returns the fraction of queries dropped.
@@ -79,32 +133,16 @@ func (c *Collector) DropRatio() float64 {
 	if len(c.records) == 0 {
 		return 0
 	}
-	n := 0
-	for _, r := range c.records {
-		if r.Dropped {
-			n++
-		}
-	}
-	return float64(n) / float64(len(c.records))
+	return float64(c.dropped) / float64(len(c.records))
 }
 
 // DeferRatio returns the fraction of completed queries served by the
 // heavy model.
 func (c *Collector) DeferRatio() float64 {
-	total, deferred := 0, 0
-	for _, r := range c.records {
-		if r.Dropped {
-			continue
-		}
-		total++
-		if r.Deferred {
-			deferred++
-		}
-	}
-	if total == 0 {
+	if c.served == 0 {
 		return 0
 	}
-	return float64(deferred) / float64(total)
+	return float64(c.deferred) / float64(c.served)
 }
 
 // ServedFeatures returns the feature vectors of all completed queries.
@@ -118,37 +156,39 @@ func (c *Collector) ServedFeatures() [][]float64 {
 	return out
 }
 
+// ServedMoments returns the streaming moment accumulator of all
+// completed-query features (nil when no features were recorded).
+// Treat as read-only.
+func (c *Collector) ServedMoments() *stats.MomentAccumulator { return c.acc }
+
 // FID computes the response-quality FID of all served images against
-// the reference. It returns an error when fewer than two images were
-// served.
+// the reference from the streamed moments. It returns an error when
+// fewer than two images were served.
 func (c *Collector) FID(ref *fid.Reference) (float64, error) {
-	feats := c.ServedFeatures()
-	if len(feats) < 2 {
-		return 0, fmt.Errorf("metrics: %d served images, need >= 2 for FID", len(feats))
+	if c.dimErr != nil {
+		return 0, c.dimErr
 	}
-	return ref.Score(feats)
+	n := 0
+	if c.acc != nil {
+		n = c.acc.Count()
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("metrics: %d served images, need >= 2 for FID", n)
+	}
+	return ref.ScoreMoments(c.acc)
 }
 
 // LatencyQuantile returns the q-quantile of completed-query latency.
 func (c *Collector) LatencyQuantile(q float64) float64 {
-	var ls []float64
-	for _, r := range c.records {
-		if !r.Dropped {
-			ls = append(ls, r.Completion-r.Arrival)
-		}
-	}
-	return stats.Quantile(ls, q)
+	return stats.Quantile(c.lats, q)
 }
 
 // MeanLatency returns the mean completed-query latency.
 func (c *Collector) MeanLatency() float64 {
-	var ls []float64
-	for _, r := range c.records {
-		if !r.Dropped {
-			ls = append(ls, r.Completion-r.Arrival)
-		}
+	if c.served == 0 {
+		return math.NaN()
 	}
-	return stats.Mean(ls)
+	return c.latSum / float64(c.served)
 }
 
 // Bucket is one time window of the serving timeline.
@@ -170,6 +210,54 @@ type Bucket struct {
 	DeferRatio float64
 }
 
+// bucketAdd folds one record into the streaming bucket state. Bucket
+// assignment needs only the arrival index, so no global sort of the
+// records is ever required.
+func (c *Collector) bucketAdd(r QueryRecord) {
+	i := int(r.Arrival / c.bucketSecs)
+	for len(c.buckets) <= i {
+		c.buckets = append(c.buckets, bucketAcc{})
+	}
+	b := &c.buckets[i]
+	b.arrivals++
+	switch {
+	case r.Dropped:
+		b.dropped++
+	case r.Late():
+		b.late++
+		b.served++
+	default:
+		b.served++
+	}
+	if !r.Dropped && r.Features != nil {
+		if b.acc == nil {
+			b.acc = stats.NewMomentAccumulator(len(r.Features))
+		}
+		if len(r.Features) == b.acc.Dim() {
+			b.acc.Add(r.Features)
+		} else if c.dimErr == nil {
+			c.dimErr = fmt.Errorf("metrics: inconsistent feature dims %d vs %d", len(r.Features), b.acc.Dim())
+		}
+		if r.Deferred {
+			b.deferredServed++
+		}
+	}
+}
+
+// ensureBuckets (re)builds the streaming bucket state for the given
+// width. After the first call, Record maintains it incrementally; a
+// Timeline call with a different width triggers one rebuild.
+func (c *Collector) ensureBuckets(bucketSecs float64) {
+	if c.bucketSecs == bucketSecs && c.buckets != nil {
+		return
+	}
+	c.bucketSecs = bucketSecs
+	c.buckets = c.buckets[:0]
+	for _, r := range c.records {
+		c.bucketAdd(r)
+	}
+}
+
 // Timeline aggregates records into fixed-width buckets by arrival
 // time. ref may be nil to skip FID computation. minFIDSamples guards
 // against meaningless small-sample FIDs (default 32 when <= 0).
@@ -183,48 +271,30 @@ func (c *Collector) Timeline(bucketSecs float64, ref *fid.Reference, minFIDSampl
 	if minFIDSamples <= 0 {
 		minFIDSamples = 32
 	}
-	recs := append([]QueryRecord(nil), c.records...)
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Arrival < recs[j].Arrival })
-	last := recs[len(recs)-1].Arrival
-	n := int(last/bucketSecs) + 1
-	buckets := make([]Bucket, n)
-	feats := make([][][]float64, n)
-	for i := range buckets {
-		buckets[i].Start = float64(i) * bucketSecs
-		buckets[i].End = float64(i+1) * bucketSecs
+	c.ensureBuckets(bucketSecs)
+	if ref != nil && c.dimErr != nil {
+		return nil, c.dimErr
 	}
-	for _, r := range recs {
-		i := int(r.Arrival / bucketSecs)
+	buckets := make([]Bucket, len(c.buckets))
+	for i := range c.buckets {
+		ba := &c.buckets[i]
 		b := &buckets[i]
-		b.Arrivals++
-		switch {
-		case r.Dropped:
-			b.Dropped++
-		case r.Late():
-			b.Late++
-			b.Served++
-		default:
-			b.Served++
+		b.Start = float64(i) * bucketSecs
+		b.End = float64(i+1) * bucketSecs
+		b.Arrivals = ba.arrivals
+		b.Served = ba.served
+		b.Dropped = ba.dropped
+		b.Late = ba.late
+		b.DemandQPS = float64(ba.arrivals) / bucketSecs
+		if ba.arrivals > 0 {
+			b.ViolationRatio = float64(ba.dropped+ba.late) / float64(ba.arrivals)
 		}
-		if !r.Dropped && r.Features != nil {
-			feats[i] = append(feats[i], r.Features)
-			if r.Deferred {
-				b.DeferRatio++ // numerator; normalized below
-			}
-		}
-	}
-	for i := range buckets {
-		b := &buckets[i]
-		b.DemandQPS = float64(b.Arrivals) / bucketSecs
-		if b.Arrivals > 0 {
-			b.ViolationRatio = float64(b.Dropped+b.Late) / float64(b.Arrivals)
-		}
-		if b.Served > 0 {
-			b.DeferRatio /= float64(b.Served)
+		if ba.served > 0 {
+			b.DeferRatio = float64(ba.deferredServed) / float64(ba.served)
 		}
 		b.FID = math.NaN()
-		if ref != nil && len(feats[i]) >= minFIDSamples {
-			v, err := ref.Score(feats[i])
+		if ref != nil && ba.acc != nil && ba.acc.Count() >= minFIDSamples {
+			v, err := ref.ScoreMoments(ba.acc)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"diffserve/internal/fid"
+	"diffserve/internal/stats"
+)
+
+// synthRecords fabricates a mixed population of served, late, dropped,
+// and deferred records with feature vectors, in non-sorted arrival
+// order (as a simulator emits them).
+func synthRecords(seed uint64, n, dim int) []QueryRecord {
+	rng := stats.NewRNG(seed)
+	recs := make([]QueryRecord, n)
+	for i := range recs {
+		arrival := rng.Uniform(0, 100)
+		r := QueryRecord{
+			ID:       i,
+			Arrival:  arrival,
+			Deadline: arrival + 5,
+		}
+		switch {
+		case rng.Bernoulli(0.1):
+			r.Dropped = true
+		default:
+			r.Completion = arrival + rng.Uniform(0.1, 7)
+			r.Deferred = rng.Bernoulli(0.4)
+			r.ServedBy = "v"
+			r.Features = rng.NormalVec(nil, dim, 0.2, 1.1)
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// batchSummarize recomputes the summary the way the pre-streaming
+// Collector did: full scans over the records.
+func batchSummarize(recs []QueryRecord, ref *fid.Reference) Summary {
+	s := Summary{Queries: len(recs), FID: math.NaN()}
+	var feats [][]float64
+	var lats []float64
+	served, deferred, violated, dropped := 0, 0, 0, 0
+	for _, r := range recs {
+		if r.Violated() {
+			violated++
+		}
+		if r.Dropped {
+			dropped++
+			continue
+		}
+		served++
+		if r.Deferred {
+			deferred++
+		}
+		lats = append(lats, r.Completion-r.Arrival)
+		if r.Features != nil {
+			feats = append(feats, r.Features)
+		}
+	}
+	if len(recs) > 0 {
+		s.ViolationRatio = float64(violated) / float64(len(recs))
+		s.DropRatio = float64(dropped) / float64(len(recs))
+	}
+	if served > 0 {
+		s.DeferRatio = float64(deferred) / float64(served)
+	}
+	s.MeanLatency = stats.Mean(lats)
+	s.P99Latency = stats.Quantile(lats, 0.99)
+	if ref != nil && len(feats) >= 2 {
+		if v, err := ref.Score(feats); err == nil {
+			s.FID = v
+		}
+	}
+	return s
+}
+
+// batchTimeline is the pre-streaming Timeline implementation
+// (sort-and-rescan) kept as a reference oracle.
+func batchTimeline(recs []QueryRecord, bucketSecs float64, ref *fid.Reference, minFIDSamples int) ([]Bucket, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if minFIDSamples <= 0 {
+		minFIDSamples = 32
+	}
+	sorted := append([]QueryRecord(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	last := sorted[len(sorted)-1].Arrival
+	n := int(last/bucketSecs) + 1
+	buckets := make([]Bucket, n)
+	feats := make([][][]float64, n)
+	for i := range buckets {
+		buckets[i].Start = float64(i) * bucketSecs
+		buckets[i].End = float64(i+1) * bucketSecs
+	}
+	for _, r := range sorted {
+		i := int(r.Arrival / bucketSecs)
+		b := &buckets[i]
+		b.Arrivals++
+		switch {
+		case r.Dropped:
+			b.Dropped++
+		case r.Late():
+			b.Late++
+			b.Served++
+		default:
+			b.Served++
+		}
+		if !r.Dropped && r.Features != nil {
+			feats[i] = append(feats[i], r.Features)
+			if r.Deferred {
+				b.DeferRatio++
+			}
+		}
+	}
+	for i := range buckets {
+		b := &buckets[i]
+		b.DemandQPS = float64(b.Arrivals) / bucketSecs
+		if b.Arrivals > 0 {
+			b.ViolationRatio = float64(b.Dropped+b.Late) / float64(b.Arrivals)
+		}
+		if b.Served > 0 {
+			b.DeferRatio /= float64(b.Served)
+		}
+		b.FID = math.NaN()
+		if ref != nil && len(feats[i]) >= minFIDSamples {
+			v, err := ref.Score(feats[i])
+			if err != nil {
+				return nil, err
+			}
+			b.FID = v
+		}
+	}
+	return buckets, nil
+}
+
+func closeOrBothNaN(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// TestStreamingSummarizeMatchesBatch checks the streaming Collector
+// against full-scan recomputation on synthetic populations.
+func TestStreamingSummarizeMatchesBatch(t *testing.T) {
+	const dim = 16
+	ref := fid.ExactReference(dim)
+	for _, n := range []int{0, 1, 5, 900} {
+		c := NewCollector()
+		recs := synthRecords(uint64(n)+3, n, dim)
+		for _, r := range recs {
+			c.Record(r)
+		}
+		got := c.Summarize(ref)
+		want := batchSummarize(recs, ref)
+		if got.Queries != want.Queries {
+			t.Fatalf("n=%d: queries %d vs %d", n, got.Queries, want.Queries)
+		}
+		// Counter-based ratios must be exactly equal; the FID may
+		// differ by streaming-vs-batch floating-point noise only.
+		if got.ViolationRatio != want.ViolationRatio || got.DropRatio != want.DropRatio || got.DeferRatio != want.DeferRatio {
+			t.Errorf("n=%d: ratios %+v vs %+v", n, got, want)
+		}
+		if !closeOrBothNaN(got.MeanLatency, want.MeanLatency, 0) {
+			t.Errorf("n=%d: mean latency %v vs %v", n, got.MeanLatency, want.MeanLatency)
+		}
+		if !closeOrBothNaN(got.P99Latency, want.P99Latency, 0) {
+			t.Errorf("n=%d: p99 latency %v vs %v", n, got.P99Latency, want.P99Latency)
+		}
+		if !closeOrBothNaN(got.FID, want.FID, 1e-9) {
+			t.Errorf("n=%d: FID %v vs %v", n, got.FID, want.FID)
+		}
+	}
+}
+
+// TestStreamingTimelineMatchesBatch checks the incrementally
+// maintained timeline against the sort-and-rescan oracle, including
+// interleaving Timeline calls with further Records and switching
+// bucket widths.
+func TestStreamingTimelineMatchesBatch(t *testing.T) {
+	const dim = 16
+	ref := fid.ExactReference(dim)
+	recs := synthRecords(42, 1200, dim)
+	c := NewCollector()
+	half := len(recs) / 2
+	for _, r := range recs[:half] {
+		c.Record(r)
+	}
+
+	check := func(label string, width float64, minSamples int, upto int) {
+		t.Helper()
+		got, err := c.Timeline(width, ref, minSamples)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want, err := batchTimeline(recs[:upto], width, ref, minSamples)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d buckets vs %d", label, len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Arrivals != w.Arrivals || g.Served != w.Served || g.Dropped != w.Dropped || g.Late != w.Late {
+				t.Fatalf("%s: bucket %d counts %+v vs %+v", label, i, g, w)
+			}
+			if g.Start != w.Start || g.End != w.End || g.DemandQPS != w.DemandQPS ||
+				g.ViolationRatio != w.ViolationRatio || g.DeferRatio != w.DeferRatio {
+				t.Fatalf("%s: bucket %d stats %+v vs %+v", label, i, g, w)
+			}
+			if !closeOrBothNaN(g.FID, w.FID, 1e-9) {
+				t.Fatalf("%s: bucket %d FID %v vs %v", label, i, g.FID, w.FID)
+			}
+		}
+	}
+
+	check("first half", 10, 20, half)
+	// Record more after the first Timeline call: the bucket state must
+	// update incrementally.
+	for _, r := range recs[half:] {
+		c.Record(r)
+	}
+	check("full incremental", 10, 20, len(recs))
+	// Width change triggers a rebuild.
+	check("rebucketed", 7, 20, len(recs))
+	// And back.
+	check("re-rebucketed", 10, 20, len(recs))
+}
+
+// TestInconsistentFeatureDimsSurfaceAsError checks that a feature
+// dimension mismatch seen at Record time surfaces as an error from
+// FID and Timeline (as the batch moments path used to report) rather
+// than a panic.
+func TestInconsistentFeatureDimsSurfaceAsError(t *testing.T) {
+	ref := fid.ExactReference(4)
+	c := NewCollector()
+	c.Record(QueryRecord{ID: 0, Arrival: 0, Completion: 1, Deadline: 5, Features: []float64{1, 2, 3, 4}})
+	c.Record(QueryRecord{ID: 1, Arrival: 1, Completion: 2, Deadline: 6, Features: []float64{1, 2}})
+	c.Record(QueryRecord{ID: 2, Arrival: 2, Completion: 3, Deadline: 7, Features: []float64{4, 3, 2, 1}})
+	if _, err := c.FID(ref); err == nil {
+		t.Fatal("FID should report inconsistent feature dims")
+	}
+	if _, err := c.Timeline(10, ref, 1); err == nil {
+		t.Fatal("Timeline should report inconsistent feature dims")
+	}
+	// Without a reference, the timeline's count statistics remain
+	// available.
+	buckets, err := c.Timeline(10, nil, 1)
+	if err != nil || len(buckets) == 0 {
+		t.Fatalf("ref-less timeline: %v %v", buckets, err)
+	}
+	if buckets[0].Arrivals != 3 {
+		t.Fatalf("arrivals = %d", buckets[0].Arrivals)
+	}
+}

@@ -36,13 +36,19 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	}
 
 	// Build rows: original constraints with RHS adjusted for the lower
-	// bound shift, plus upper-bound rows x' <= hi - lo.
+	// bound shift, plus upper-bound rows x' <= hi - lo. Rows reference
+	// the source coefficients (unit rows by index) instead of
+	// materializing per-row slices; negation for non-negative RHS
+	// normalization is recorded as a flag and applied when the tableau
+	// is filled.
 	type row struct {
-		a   []float64
-		rel Rel
-		b   float64
+		a    []float64 // source coefficients; nil for a unit row
+		unit int       // unit-row variable index when a is nil
+		neg  bool      // negate coefficients when filling the tableau
+		rel  Rel
+		b    float64
 	}
-	var rows []row
+	rows := make([]row, 0, len(p.Constraints)+n)
 	for _, con := range p.Constraints {
 		b := con.RHS
 		for i := 0; i < n; i++ {
@@ -52,9 +58,9 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	}
 	for i := 0; i < n; i++ {
 		if !math.IsInf(hi[i], 1) {
-			a := make([]float64, n)
-			a[i] = 1
-			rows = append(rows, row{a: a, rel: LE, b: hi[i] - lo[i]})
+			// b = hi - lo >= 0 here (the empty box returned above), so
+			// unit rows never need normalization.
+			rows = append(rows, row{unit: i, rel: LE, b: hi[i] - lo[i]})
 		}
 	}
 
@@ -85,11 +91,7 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	// surplus per GE, one artificial per GE/EQ row.
 	for ri := range rows {
 		if rows[ri].b < 0 {
-			a := make([]float64, n)
-			for i, v := range rows[ri].a {
-				a[i] = -v
-			}
-			rows[ri].a = a
+			rows[ri].neg = !rows[ri].neg
 			rows[ri].b = -rows[ri].b
 			switch rows[ri].rel {
 			case LE:
@@ -114,15 +116,27 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	}
 	total := n + nSlack + nArt
 
-	// Tableau: m rows x (total+1) columns, last column is RHS.
+	// Tableau: m rows x (total+1) columns, last column is RHS, all
+	// rows carved out of one backing slab.
+	stride := total + 1
+	slab := make([]float64, m*stride)
 	t := make([][]float64, m)
 	basis := make([]int, m)
 	slackCol := n
 	artCol := n + nSlack
 	artStart := artCol
 	for ri, r := range rows {
-		t[ri] = make([]float64, total+1)
-		copy(t[ri], r.a)
+		t[ri] = slab[ri*stride : (ri+1)*stride]
+		switch {
+		case r.a == nil:
+			t[ri][r.unit] = 1
+		case r.neg:
+			for i, v := range r.a {
+				t[ri][i] = -v
+			}
+		default:
+			copy(t[ri], r.a)
+		}
 		t[ri][total] = r.b
 		switch r.rel {
 		case LE:
@@ -228,7 +242,9 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 func runSimplex(t [][]float64, basis []int, cost []float64, total int) (Status, int) {
 	m := len(t)
 	// Reduced costs: z_j - c_j form. Maintain implicitly: compute the
-	// reduced cost vector each iteration (dense, small problems).
+	// reduced cost vector each iteration (dense, small problems). The
+	// basic-cost scratch is allocated once and refilled per pivot.
+	costB := make([]float64, m)
 	iters := 0
 	for {
 		iters++
@@ -239,10 +255,11 @@ func runSimplex(t [][]float64, basis []int, cost []float64, total int) (Status, 
 		}
 		// Compute simplex multipliers via basic costs: reduced cost of
 		// column j is cost[j] - sum_i costB[i] * t[i][j].
-		costB := make([]float64, m)
 		for i, bi := range basis {
 			if bi < total {
 				costB[i] = cost[bi]
+			} else {
+				costB[i] = 0
 			}
 		}
 		enter := -1

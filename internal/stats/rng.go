@@ -8,10 +8,33 @@
 package stats
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
+
+// FNV-1a constants (identical to hash/fnv's 64-bit variant). The hash
+// is inlined so stream-seed derivation allocates nothing on the hot
+// image-generation path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
 
 // RNG is a deterministic random number generator supporting named
 // sub-stream derivation. Deriving a child stream with a stable name
@@ -31,31 +54,38 @@ func NewRNG(seed uint64) *RNG {
 // The child's seed is a hash of the parent seed and the name, so the
 // same (seed, name) pair always yields the same stream.
 func (r *RNG) Stream(name string) *RNG {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(r.seed >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(name))
-	return NewRNG(h.Sum64())
+	return NewRNG(r.StreamSeed(name))
 }
 
 // StreamN derives an independent child RNG identified by name and index,
 // convenient for per-query or per-worker streams.
 func (r *RNG) StreamN(name string, n int) *RNG {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(r.seed >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(name))
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(n) >> (8 * i))
-	}
-	h.Write(buf[:])
-	return NewRNG(h.Sum64())
+	return NewRNG(StreamNSeedFrom(r.seed, name, n))
+}
+
+// StreamSeed returns the seed Stream(name) would give its child,
+// without allocating the child.
+func (r *RNG) StreamSeed(name string) uint64 {
+	return fnvString(fnvUint64(fnvOffset64, r.seed), name)
+}
+
+// StreamSeed2 returns StreamSeed(prefix+name) without materializing
+// the concatenated string.
+func (r *RNG) StreamSeed2(prefix, name string) uint64 {
+	return fnvString(fnvString(fnvUint64(fnvOffset64, r.seed), prefix), name)
+}
+
+// StreamNSeedFrom returns the seed that an RNG seeded with seed would
+// derive via StreamN(name, n).
+func StreamNSeedFrom(seed uint64, name string, n int) uint64 {
+	return fnvUint64(fnvString(fnvUint64(fnvOffset64, seed), name), uint64(n))
+}
+
+// Reseed resets the RNG in place to the given seed, reusing its
+// source. The state afterwards is identical to NewRNG(seed)'s.
+func (r *RNG) Reseed(seed uint64) {
+	r.seed = seed
+	r.src.Seed(int64(seed))
 }
 
 // Seed returns the seed this RNG was created with.

@@ -166,14 +166,16 @@ func (s *System) heavyExec(n int) float64 {
 
 // Run simulates the full trace and returns the result.
 func (s *System) Run() (*Result, error) {
-	// Synthesize arrivals and pre-sample the query population.
+	// Synthesize arrivals and pre-sample the query population,
+	// streaming the ground-truth image moments for the FID reference
+	// instead of materializing every real feature vector.
 	arrivals := s.cfg.Trace.Arrivals(s.rng.Stream("trace"))
-	realFeats := make([][]float64, len(arrivals))
+	realAcc := stats.NewMomentAccumulator(s.cfg.Space.Dim())
 	for i, at := range arrivals {
 		id := s.cfg.QueryIDBase + i
 		q := s.cfg.Space.SampleQuery(id)
 		s.queries[id] = q
-		realFeats[i] = s.cfg.Space.RealImage(q)
+		realAcc.Add(q.Truth)
 		at, id := at, id
 		s.sim.At(at, func() { s.onArrival(id, at) })
 	}
@@ -201,7 +203,7 @@ func (s *System) Run() (*Result, error) {
 	s.sim.Drain()
 	s.dropRemaining()
 
-	ref, err := fid.NewReference(realFeats)
+	ref, err := fid.NewReferenceFromAccumulator(realAcc)
 	if err != nil {
 		return nil, fmt.Errorf("system: building FID reference: %w", err)
 	}
@@ -222,6 +224,22 @@ func (s *System) onArrival(id int, at float64) {
 	s.dispatchAll()
 }
 
+// shedPool applies predicted-deadline-miss shedding to one pool
+// queue: items that cannot finish in time even if started immediately
+// with minimal service are dropped and recorded.
+func (s *System) shedPool(pool loadbalancer.PoolID) {
+	if s.cfg.DisableDrop {
+		return
+	}
+	now := s.sim.Now()
+	exec := s.execFor(pool, 1)
+	for _, it := range s.lb.Queue(pool).DropWhere(func(it queueing.Item) bool {
+		return now+exec > it.Arrival+s.cfg.SLO
+	}) {
+		s.recordDrop(it)
+	}
+}
+
 // shedExpired drops queued items that can no longer meet their
 // deadline even with immediate minimal service. Running this on the
 // control tick (not only at dispatch) keeps queue state honest when a
@@ -229,17 +247,8 @@ func (s *System) onArrival(id int, at float64) {
 // the Little's-law wait forever and wedge the allocator in its
 // best-effort fallback.
 func (s *System) shedExpired() {
-	if s.cfg.DisableDrop {
-		return
-	}
-	now := s.sim.Now()
 	for _, pool := range []loadbalancer.PoolID{loadbalancer.PoolLight, loadbalancer.PoolHeavy} {
-		exec := s.execFor(pool, 1)
-		for _, it := range s.lb.Queue(pool).DropWhere(func(it queueing.Item) bool {
-			return now+exec > it.Arrival+s.cfg.SLO
-		}) {
-			s.recordDrop(it)
-		}
+		s.shedPool(pool)
 	}
 }
 
@@ -343,20 +352,8 @@ func (s *System) dispatchAll() {
 // dispatch pulls work for one available worker from its pool queue.
 func (s *System) dispatch(w *worker.Worker, pool loadbalancer.PoolID) {
 	now := s.sim.Now()
+	s.shedPool(pool)
 	q := s.lb.Queue(pool)
-
-	// Predicted-deadline-miss shedding: drop queries that cannot
-	// finish in time even if started immediately.
-	if !s.cfg.DisableDrop {
-		exec := s.execFor(pool, 1)
-		dropped := q.DropWhere(func(it queueing.Item) bool {
-			return now+exec > it.Arrival+s.cfg.SLO
-		})
-		for _, it := range dropped {
-			s.recordDrop(it)
-		}
-	}
-
 	items := q.Pop(now, w.Batch())
 	if len(items) == 0 {
 		return

@@ -1,0 +1,44 @@
+package diffserve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestServeMatchesPreRefactorGolden locks the end-to-end Serve summary
+// and timeline to the values the pre-streaming-metrics implementation
+// produced at the same seed (testdata/serve_seed5.golden). The
+// streaming-moments pipeline, memoized generation, and timeline
+// re-bucketing must not change any reported number at the precision
+// the figures use.
+func TestServeMatchesPreRefactorGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/serve_seed5.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Serve(Config{
+		Cascade: "cascade1", Approach: DiffServe,
+		Workers: 16, TraceMinQPS: 4, TraceMaxQPS: 24,
+		TraceDurationSeconds: 60, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	fmt.Fprintf(&got, "queries %d\n", rep.Queries)
+	fmt.Fprintf(&got, "fid %.6f\n", rep.FID)
+	fmt.Fprintf(&got, "violation %.6f\n", rep.SLOViolationRatio)
+	fmt.Fprintf(&got, "drop %.6f\n", rep.DropRatio)
+	fmt.Fprintf(&got, "defer %.6f\n", rep.DeferRatio)
+	fmt.Fprintf(&got, "meanlat %.6f\n", rep.MeanLatency)
+	fmt.Fprintf(&got, "p99lat %.6f\n", rep.P99Latency)
+	fmt.Fprintf(&got, "timeline %d\n", len(rep.Timeline))
+	for _, p := range rep.Timeline {
+		fmt.Fprintf(&got, "bucket %.0f %.4f %.4f %.4f %.4f\n", p.StartSeconds, p.DemandQPS, p.FID, p.ViolationRatio, p.DeferRatio)
+	}
+	if got.String() != string(want) {
+		t.Errorf("Serve summary diverged from pre-refactor golden.\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+}

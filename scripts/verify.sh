@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: gofmt, vet, build, tests — one command.
+set -e
+cd "$(dirname "$0")/.."
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+go vet ./...
+go build ./...
+go test ./...
