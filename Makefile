@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -30,3 +30,9 @@ bench:
 # tracks (see PERFORMANCE.md).
 bench-perf:
 	$(GO) test -run '^$$' -bench 'Fig5$$|MomentsStreaming|MomentsBatch|GenerateCached|ExperimentsSerial|ExperimentsParallel' -benchmem .
+
+# bench-wire runs the cluster wire-path benchmarks: codec
+# encode/decode and the end-to-end submit/pull/complete/results cycle
+# across the json, binary, and inproc transports (see PERFORMANCE.md).
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/

@@ -2,16 +2,19 @@
 // DiffServe cluster (the artifact's start_client.sh) and reports
 // end-to-end quality and SLO statistics when the trace ends.
 //
+// The replay uses the batched data path: queries due at the same
+// moment are submitted in one request over a persistent connection,
+// and completions stream back through long-poll result fetches.
+//
 //	diffserve-client -lb http://localhost:8100 -trace trace_4to32qps.txt -timescale 0.1
-//	diffserve-client -lb http://localhost:8100 -min 4 -max 32 -duration 360
+//	diffserve-client -lb http://localhost:8100 -min 4 -max 32 -duration 360 -codec binary
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"sync"
 	"time"
 
 	"diffserve/internal/baselines"
@@ -32,6 +35,7 @@ func main() {
 		duration  = flag.Float64("duration", 360, "generated trace duration (seconds)")
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		codecName = flag.String("codec", "json", "wire codec: json|binary")
 	)
 	flag.Parse()
 
@@ -60,41 +64,88 @@ func main() {
 			fatal(err)
 		}
 	}
+	codec, err := cluster.CodecByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 
 	arrivals := tr.Arrivals(stats.NewRNG(*seed + 17).Stream("trace"))
-	fmt.Printf("diffserve-client: replaying %s (%d queries) at %gx speed\n",
-		tr.Name(), len(arrivals), 1 / *timescale)
+	fmt.Printf("diffserve-client: replaying %s (%d queries) at %gx speed, %s codec\n",
+		tr.Name(), len(arrivals), 1 / *timescale, codec.Name())
 
 	clock := cluster.NewClock(*timescale)
-	client := &http.Client{Timeout: 10 * time.Minute}
+	conn := cluster.NewHTTPLBConn(cluster.NewWireClient(0), *lbURL, codec)
 	col := metrics.NewCollector()
-	var mu sync.Mutex
 	realFeats := make([][]float64, len(arrivals))
-	var wg sync.WaitGroup
-	for i, at := range arrivals {
+	for i := range arrivals {
 		q := env.Space.SampleQuery(i)
 		realFeats[i] = env.Space.RealImage(q)
-		wg.Add(1)
-		go func(id int, at float64) {
-			defer wg.Done()
-			clock.SleepTrace(at - clock.Now())
-			var resp cluster.QueryResponse
-			err := postJSON(client, *lbURL+"/query", cluster.QueryMsg{ID: id, Arrival: at}, &resp)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil || resp.Dropped {
-				col.Record(metrics.QueryRecord{ID: id, Arrival: at, Deadline: at + env.Spec.SLOSeconds, Dropped: true})
-				return
-			}
-			col.Record(metrics.QueryRecord{
-				ID: id, Arrival: at, Completion: resp.Completion,
-				Deadline: at + env.Spec.SLOSeconds, Deferred: resp.Deferred,
-				ServedBy: resp.Variant, Confidence: resp.Confidence,
-				Features: resp.Features, Artifact: resp.Artifact,
-			})
-		}(i, at)
 	}
-	wg.Wait()
+
+	// The collector stops at a hard deadline (trace end plus a drain
+	// grace) even if some results never arrive — a lost long-poll
+	// response loses its popped results, and an unbounded wait would
+	// hang the binary. Unaccounted queries are recorded as drops,
+	// like the old per-query path did on request errors.
+	grace := 3*env.Spec.SLOSeconds + env.Heavy.Latency.Latency(env.Heavy.Latency.MaxBatch())
+	wallDeadline := time.Now().Add(clock.WallDuration(tr.Duration()+grace) + 5*time.Second)
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() { // collector: long-poll completions until all accounted
+		defer close(done)
+		seen := make(map[int]bool, len(arrivals))
+		for len(seen) < len(arrivals) && time.Now().Before(wallDeadline) {
+			resp, err := conn.PollResults(ctx, cluster.ResultsRequest{Max: 1024, Wait: 2})
+			if err != nil {
+				clock.SleepTrace(0.1)
+				continue
+			}
+			// Arrival/Completion both come from the LB's trace clock:
+			// the processes' clocks start at different wall times, so
+			// only server-side stamps are mutually consistent.
+			for _, r := range resp.Results {
+				if seen[r.ID] {
+					continue
+				}
+				seen[r.ID] = true
+				if r.Dropped {
+					col.Record(metrics.QueryRecord{ID: r.ID, Arrival: r.Arrival, Deadline: r.Arrival + env.Spec.SLOSeconds, Dropped: true})
+					continue
+				}
+				col.Record(metrics.QueryRecord{
+					ID: r.ID, Arrival: r.Arrival, Completion: r.Completion,
+					Deadline: r.Arrival + env.Spec.SLOSeconds, Deferred: r.Deferred,
+					ServedBy: r.Variant, Confidence: r.Confidence,
+					Features: r.Features, Artifact: r.Artifact,
+				})
+			}
+		}
+		for id, at := range arrivals {
+			if !seen[id] {
+				col.Record(metrics.QueryRecord{ID: id, Arrival: at, Deadline: at + env.Spec.SLOSeconds, Dropped: true})
+			}
+		}
+	}()
+
+	batch := make([]cluster.QueryMsg, 0, 64)
+	i := 0
+	for i < len(arrivals) {
+		clock.SleepTrace(arrivals[i] - clock.Now())
+		now := clock.Now()
+		batch = batch[:0]
+		for i < len(arrivals) && arrivals[i] <= now {
+			// Zero arrival: the LB stamps the query with its own trace
+			// clock on admission. Sending the client's arrival value
+			// would mix two clocks that started at different wall
+			// times and shed everything as instantly expired.
+			batch = append(batch, cluster.QueryMsg{ID: i})
+			i++
+		}
+		if err := conn.SubmitBatch(ctx, cluster.SubmitRequest{Queries: batch}); err != nil {
+			fatal(err)
+		}
+	}
+	<-done
 	fmt.Println("Trace ended")
 
 	ref, err := fid.NewReference(realFeats)
@@ -107,10 +158,6 @@ func main() {
 	fmt.Printf("SLO violations   %.3f (drops %.3f)\n", sum.ViolationRatio, sum.DropRatio)
 	fmt.Printf("deferred         %.2f\n", sum.DeferRatio)
 	fmt.Printf("latency mean/p99 %.2fs / %.2fs\n", sum.MeanLatency, sum.P99Latency)
-}
-
-func postJSON(c *http.Client, url string, in, out interface{}) error {
-	return cluster.PostJSON(c, url, in, out)
 }
 
 func fatal(err error) {

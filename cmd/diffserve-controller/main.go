@@ -32,6 +32,7 @@ func main() {
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
 		interval  = flag.Float64("interval", 2, "control period in trace seconds")
+		codecName = flag.String("codec", "json", "wire codec to LB and workers: json|binary")
 	)
 	flag.Parse()
 
@@ -62,9 +63,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	codec, err := cluster.CodecByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	wire := cluster.NewWireClient(0)
+	workerConns := make([]cluster.WorkerConn, len(workerURLs))
+	for i, u := range workerURLs {
+		workerConns[i] = cluster.NewHTTPWorkerConn(wire, u, codec)
+	}
 	clock := cluster.NewClock(*timescale)
 	loop := cluster.NewControllerLoop(cluster.ControllerConfig{
-		Ctrl: ctrl, LBURL: *lbURL, WorkerURLs: workerURLs,
+		Ctrl: ctrl, LB: cluster.NewHTTPLBConn(wire, *lbURL, codec), Workers: workerConns,
 		Mode: loadbalancer.ModeCascade, Clock: clock,
 	})
 	fmt.Printf("diffserve-controller: %d workers, SLO %.1fs, interval %.1fs\n",

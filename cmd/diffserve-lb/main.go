@@ -26,9 +26,14 @@ func main() {
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
 		mode      = flag.String("mode", "cascade", "routing: cascade|all-light|all-heavy|random-split")
+		codecName = flag.String("codec", "json", "advertised wire codec: json|binary (the server answers each request in the codec it arrived in)")
 	)
 	flag.Parse()
 
+	codec, err := cluster.CodecByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
 	if err != nil {
 		fatal(err)
@@ -52,8 +57,8 @@ func main() {
 		Clock:        clock, Seed: *seed,
 	})
 	addr := fmt.Sprintf(":%d", *port)
-	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s)\n",
-		env.Spec.Name, addr, *cascadeN, deadline, *mode)
+	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s, %s codec)\n",
+		env.Spec.Name, addr, *cascadeN, deadline, *mode, codec.Name())
 	if err := http.ListenAndServe(addr, lb.Mux()); err != nil {
 		fatal(err)
 	}

@@ -29,6 +29,7 @@ func main() {
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
 		fastLoad  = flag.Bool("fast-load", false, "skip model-switch load delays")
+		codecName = flag.String("codec", "json", "wire codec to the LB: json|binary")
 	)
 	flag.Parse()
 
@@ -36,9 +37,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	codec, err := cluster.CodecByName(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 	clock := cluster.NewClock(*timescale)
 	ws := cluster.NewWorkerServer(cluster.WorkerConfig{
-		ID: *id, LBURL: *lbURL,
+		ID: *id, LB: cluster.NewHTTPLBConn(cluster.NewWireClient(0), *lbURL, codec),
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy,
 		Scorer: env.Scorer, Clock: clock,
 		DisableLoadDelay: *fastLoad,

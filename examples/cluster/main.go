@@ -50,20 +50,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("replaying %s through LB + %d workers + controller over HTTP (10x speed)...\n",
+	fmt.Printf("replaying %s through LB + %d workers + controller over HTTP with the binary codec (10x speed)...\n",
 		tr.Name(), workers)
 	res, err := cluster.Run(cluster.HarnessConfig{
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
 		Mode: loadbalancer.ModeCascade, Workers: workers, SLO: env.Spec.SLOSeconds,
 		Trace: tr, Ctrl: ctrl, Timescale: 0.1, Seed: 99,
 		DisableLoadDelay: true,
+		// Other transports: cluster.TransportJSON (the pre-codec wire
+		// format) and cluster.TransportInproc (zero-serialization
+		// direct dispatch for maximum replay speed).
+		Transport: cluster.TransportBinary,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	sum := res.Summary()
-	fmt.Printf("\ncompleted in %.1fs wall time\n", res.WallSeconds)
+	fmt.Printf("\ncompleted in %.1fs wall time (%s transport)\n", res.WallSeconds, res.Transport)
 	fmt.Printf("queries          %d\n", sum.Queries)
 	fmt.Printf("FID              %.2f\n", sum.FID)
 	fmt.Printf("SLO violations   %.3f (drops %.3f)\n", sum.ViolationRatio, sum.DropRatio)

@@ -20,15 +20,20 @@ type ExperimentConfig struct {
 	TraceDurationSeconds float64
 	// Short shrinks everything for quick runs.
 	Short bool
+	// ClusterTransport selects the cluster runtime's wire path for
+	// the sim-vs-cluster experiment: "json" (default), "binary", or
+	// "inproc".
+	ClusterTransport string
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{
-		Seed:          c.Seed,
-		Queries:       c.Queries,
-		Workers:       c.Workers,
-		TraceDuration: c.TraceDurationSeconds,
-		Short:         c.Short,
+		Seed:             c.Seed,
+		Queries:          c.Queries,
+		Workers:          c.Workers,
+		TraceDuration:    c.TraceDurationSeconds,
+		Short:            c.Short,
+		ClusterTransport: c.ClusterTransport,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"diffserve/internal/fid"
 	"diffserve/internal/imagespace"
 	"diffserve/internal/model"
+	"diffserve/internal/parallel"
 	"diffserve/internal/stats"
 )
 
@@ -31,41 +32,26 @@ func calibSetup(t testing.TB, n int) (*imagespace.Space, *model.Registry, []*ima
 	return space, reg, queries, ref
 }
 
-// standaloneFID serves every query with a single variant and computes
-// FID against the reference set.
-func standaloneFID(t testing.TB, space *imagespace.Space, v *model.Variant, queries []*imagespace.Query, ref *fid.Reference) float64 {
-	t.Helper()
-	feats := make([][]float64, len(queries))
-	for i, q := range queries {
-		feats[i] = space.GenerateDeterministic(q, v.Name, v.Gen).Features
-	}
-	score, err := ref.Score(feats)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return score
-}
-
-// cascadeFIDCurve sweeps deferral fractions and returns FIDs of the
-// served mixture under the cascade's scorer.
+// cascadeFIDCurve sweeps deferral fractions — fanned out across CPUs
+// with parallel.Map, since each fraction's pass over the query set is
+// independent and deterministic — and returns FIDs of the served
+// mixture under the cascade's scorer.
 func cascadeFIDCurve(t testing.TB, c *Cascade, queries []*imagespace.Query, ref *fid.Reference, fracs []float64) []float64 {
 	t.Helper()
 	prof, err := ProfileDeferral(c, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make([]float64, len(fracs))
-	for i, f := range fracs {
-		thr := prof.ThresholdForFraction(f)
+	out, err := parallel.Map(0, len(fracs), func(i int) (float64, error) {
+		thr := prof.ThresholdForFraction(fracs[i])
 		feats := make([][]float64, len(queries))
 		for j, q := range queries {
 			feats[j] = c.Process(q, thr).Served.Features
 		}
-		score, err := ref.Score(feats)
-		if err != nil {
-			t.Fatal(err)
-		}
-		out[i] = score
+		return ref.Score(feats)
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	return out
 }
@@ -79,9 +65,23 @@ func TestCalibrationReport(t *testing.T) {
 	space, reg, queries, ref := calibSetup(t, 5000)
 	rng := stats.NewRNG(99)
 
-	for _, name := range reg.Names() {
+	// Standalone per-variant FIDs are independent passes over the
+	// query set: sweep them through the shared fan-out pool.
+	names := reg.Names()
+	scores, err := parallel.Map(0, len(names), func(i int) (float64, error) {
+		v := reg.MustGet(names[i])
+		feats := make([][]float64, len(queries))
+		for j, q := range queries {
+			feats[j] = space.GenerateDeterministic(q, v.Name, v.Gen).Features
+		}
+		return ref.Score(feats)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
 		v := reg.MustGet(name)
-		t.Logf("standalone FID %-16s = %6.2f (base latency %.3fs)", v.DisplayName, standaloneFID(t, space, v, queries, ref), v.BaseLatency())
+		t.Logf("standalone FID %-16s = %6.2f (base latency %.3fs)", v.DisplayName, scores[i], v.BaseLatency())
 	}
 
 	for _, spec := range model.BuiltinCascades() {

@@ -224,7 +224,7 @@ func TestWorkerConfigureAndStats(t *testing.T) {
 	f := newFixtures(t)
 	clock := NewClock(0.001)
 	ws := NewWorkerServer(WorkerConfig{
-		ID: 3, LBURL: "http://unused", Space: f.space,
+		ID: 3, Space: f.space,
 		Light: f.light, Heavy: f.heavy, Scorer: f.scorer, Clock: clock,
 		DisableLoadDelay: true,
 	})

@@ -1,0 +1,603 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Codec serializes cluster wire messages. Two codecs ship with the
+// package: CodecJSON (the original encoding/json wire format, kept as
+// the compatibility default) and CodecBinary (a hand-rolled
+// length-prefixed binary encoding with no reflection on the hot
+// path). Both carry identical payload semantics: for any message,
+// decode(encode(msg)) yields the same value under either codec.
+type Codec interface {
+	// Name identifies the codec ("json", "binary").
+	Name() string
+	// ContentType is the HTTP content type used on the wire.
+	ContentType() string
+	// Marshal encodes a message (pass a wire-message value or pointer).
+	Marshal(v interface{}) ([]byte, error)
+	// Unmarshal decodes into a wire-message pointer.
+	Unmarshal(data []byte, v interface{}) error
+}
+
+// Codec names accepted by CodecByName and the cmd binaries' -codec
+// flags.
+const (
+	CodecNameJSON   = "json"
+	CodecNameBinary = "binary"
+)
+
+// CodecJSON is the reflection-based encoding/json codec (the original
+// wire format).
+var CodecJSON Codec = jsonCodec{}
+
+// CodecBinary is the length-prefixed binary codec.
+var CodecBinary Codec = binaryCodec{}
+
+// CodecByName resolves a -codec flag value.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", CodecNameJSON:
+		return CodecJSON, nil
+	case CodecNameBinary:
+		return CodecBinary, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown codec %q (have json, binary)", name)
+}
+
+// codecForContentType picks the codec matching an HTTP Content-Type
+// (or Accept) header; anything unrecognized decodes as JSON, which
+// keeps pre-codec clients working.
+func codecForContentType(ct string) Codec {
+	if ct == binaryContentType {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string                            { return CodecNameJSON }
+func (jsonCodec) ContentType() string                     { return "application/json" }
+func (jsonCodec) Marshal(v interface{}) ([]byte, error)   { return json.Marshal(v) }
+func (jsonCodec) Unmarshal(d []byte, v interface{}) error { return json.Unmarshal(d, v) }
+
+const binaryContentType = "application/x-diffserve-binary"
+
+// Message tags: one leading byte per frame so decode mismatches fail
+// loudly instead of misreading fields.
+const (
+	tagQueryMsg = iota + 1
+	tagQueryResponse
+	tagPullRequest
+	tagPullResponse
+	tagCompleteRequest
+	tagConfigureWorkerRequest
+	tagConfigureLBRequest
+	tagWorkerStats
+	tagLBStats
+	tagSubmitRequest
+	tagResultsRequest
+	tagResultsResponse
+)
+
+// binaryCodec is a hand-rolled length-prefixed encoding: uvarints for
+// counts and non-negative ints, zigzag varints for signed ints, fixed
+// 8-byte little-endian IEEE-754 for floats, and length-prefixed bytes
+// for strings and slices. Encoding and decoding dispatch on a type
+// switch over the concrete wire-message types — no reflection.
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string        { return CodecNameBinary }
+func (binaryCodec) ContentType() string { return binaryContentType }
+
+func (binaryCodec) Marshal(v interface{}) ([]byte, error) {
+	switch m := v.(type) {
+	case *QueryMsg:
+		return appendQueryMsg(make([]byte, 0, 24), m), nil
+	case QueryMsg:
+		return appendQueryMsg(make([]byte, 0, 24), &m), nil
+	case *QueryResponse:
+		return appendQueryResponse(make([]byte, 0, 64+8*len(m.Features)), m), nil
+	case QueryResponse:
+		return appendQueryResponse(make([]byte, 0, 64+8*len(m.Features)), &m), nil
+	case *PullRequest:
+		return appendPullRequest(make([]byte, 0, 32), m), nil
+	case PullRequest:
+		return appendPullRequest(make([]byte, 0, 32), &m), nil
+	case *PullResponse:
+		return appendPullResponse(make([]byte, 0, 8+24*len(m.Queries)), m), nil
+	case PullResponse:
+		return appendPullResponse(make([]byte, 0, 8+24*len(m.Queries)), &m), nil
+	case *CompleteRequest:
+		return appendCompleteRequest(make([]byte, 0, 16+192*len(m.Items)), m), nil
+	case CompleteRequest:
+		return appendCompleteRequest(make([]byte, 0, 16+192*len(m.Items)), &m), nil
+	case *ConfigureWorkerRequest:
+		return appendConfigureWorker(make([]byte, 0, 16), m), nil
+	case ConfigureWorkerRequest:
+		return appendConfigureWorker(make([]byte, 0, 16), &m), nil
+	case *ConfigureLBRequest:
+		return appendConfigureLB(make([]byte, 0, 24), m), nil
+	case ConfigureLBRequest:
+		return appendConfigureLB(make([]byte, 0, 24), &m), nil
+	case *WorkerStats:
+		return appendWorkerStats(make([]byte, 0, 32), m), nil
+	case WorkerStats:
+		return appendWorkerStats(make([]byte, 0, 32), &m), nil
+	case *LBStats:
+		return appendLBStats(make([]byte, 0, 64), m), nil
+	case LBStats:
+		return appendLBStats(make([]byte, 0, 64), &m), nil
+	case *SubmitRequest:
+		return appendSubmitRequest(make([]byte, 0, 8+24*len(m.Queries)), m), nil
+	case SubmitRequest:
+		return appendSubmitRequest(make([]byte, 0, 8+24*len(m.Queries)), &m), nil
+	case *ResultsRequest:
+		return appendResultsRequest(make([]byte, 0, 16), m), nil
+	case ResultsRequest:
+		return appendResultsRequest(make([]byte, 0, 16), &m), nil
+	case *ResultsResponse:
+		return appendResultsResponse(make([]byte, 0, 8+96*len(m.Results)), m), nil
+	case ResultsResponse:
+		return appendResultsResponse(make([]byte, 0, 8+96*len(m.Results)), &m), nil
+	}
+	return nil, fmt.Errorf("cluster: binary codec cannot marshal %T", v)
+}
+
+func (binaryCodec) Unmarshal(data []byte, v interface{}) error {
+	d := &bdec{buf: data}
+	switch m := v.(type) {
+	case *QueryMsg:
+		d.tag(tagQueryMsg)
+		readQueryMsg(d, m)
+	case *QueryResponse:
+		d.tag(tagQueryResponse)
+		readQueryResponse(d, m)
+	case *PullRequest:
+		d.tag(tagPullRequest)
+		readPullRequest(d, m)
+	case *PullResponse:
+		d.tag(tagPullResponse)
+		readPullResponse(d, m)
+	case *CompleteRequest:
+		d.tag(tagCompleteRequest)
+		readCompleteRequest(d, m)
+	case *ConfigureWorkerRequest:
+		d.tag(tagConfigureWorkerRequest)
+		m.Role = d.str()
+		m.Batch = d.int()
+	case *ConfigureLBRequest:
+		d.tag(tagConfigureLBRequest)
+		m.Threshold = d.f64()
+		m.SplitProb = d.f64()
+	case *WorkerStats:
+		d.tag(tagWorkerStats)
+		readWorkerStats(d, m)
+	case *LBStats:
+		d.tag(tagLBStats)
+		readLBStats(d, m)
+	case *SubmitRequest:
+		d.tag(tagSubmitRequest)
+		readSubmitRequest(d, m)
+	case *ResultsRequest:
+		d.tag(tagResultsRequest)
+		m.Max = d.int()
+		m.Wait = d.f64()
+	case *ResultsResponse:
+		d.tag(tagResultsResponse)
+		readResultsResponse(d, m)
+	default:
+		return fmt.Errorf("cluster: binary codec cannot unmarshal into %T", v)
+	}
+	if d.err != nil {
+		return fmt.Errorf("cluster: binary decode %T: %w", v, d.err)
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("cluster: binary decode %T: %d trailing bytes", v, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// --- encode helpers (append-style, zero intermediate allocation) ---
+
+func appendInt(b []byte, v int) []byte     { return binary.AppendVarint(b, int64(v)) }
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFloats length-prefixes a float slice with len+1 so a nil
+// slice (0) stays distinct from an empty one (1) — matching JSON's
+// null vs [] round-trip semantics.
+func appendFloats(b []byte, v []float64) []byte {
+	if v == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(v))+1)
+	for _, f := range v {
+		b = appendF64(b, f)
+	}
+	return b
+}
+
+func appendQueryMsg(b []byte, m *QueryMsg) []byte {
+	b = append(b, tagQueryMsg)
+	b = appendInt(b, m.ID)
+	return appendF64(b, m.Arrival)
+}
+
+func appendQueryResponse(b []byte, m *QueryResponse) []byte {
+	b = append(b, tagQueryResponse)
+	b = appendInt(b, m.ID)
+	b = appendBool(b, m.Dropped)
+	b = appendStr(b, m.Variant)
+	// Features carries JSON's omitempty semantics: an empty slice is
+	// indistinguishable from an absent field on the JSON wire, so the
+	// binary codec normalizes empty to nil the same way.
+	feats := m.Features
+	if len(feats) == 0 {
+		feats = nil
+	}
+	b = appendFloats(b, feats)
+	b = appendF64(b, m.Artifact)
+	b = appendF64(b, m.Confidence)
+	b = appendBool(b, m.Deferred)
+	b = appendF64(b, m.Arrival)
+	return appendF64(b, m.Completion)
+}
+
+func appendPullRequest(b []byte, m *PullRequest) []byte {
+	b = append(b, tagPullRequest)
+	b = appendInt(b, m.WorkerID)
+	b = appendStr(b, m.Role)
+	b = appendInt(b, m.Max)
+	return appendF64(b, m.Wait)
+}
+
+func appendPullResponse(b []byte, m *PullResponse) []byte {
+	b = append(b, tagPullResponse)
+	if m.Queries == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(m.Queries))+1)
+	for i := range m.Queries {
+		b = appendInt(b, m.Queries[i].ID)
+		b = appendF64(b, m.Queries[i].Arrival)
+	}
+	return b
+}
+
+func appendCompleteItem(b []byte, m *CompleteItem) []byte {
+	b = appendInt(b, m.ID)
+	b = appendF64(b, m.Arrival)
+	b = appendStr(b, m.Variant)
+	b = appendFloats(b, m.Features)
+	b = appendF64(b, m.Artifact)
+	return appendF64(b, m.Confidence)
+}
+
+func appendCompleteRequest(b []byte, m *CompleteRequest) []byte {
+	b = append(b, tagCompleteRequest)
+	b = appendInt(b, m.WorkerID)
+	b = appendStr(b, m.Role)
+	if m.Items == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(m.Items))+1)
+	for i := range m.Items {
+		b = appendCompleteItem(b, &m.Items[i])
+	}
+	return b
+}
+
+func appendConfigureWorker(b []byte, m *ConfigureWorkerRequest) []byte {
+	b = append(b, tagConfigureWorkerRequest)
+	b = appendStr(b, m.Role)
+	return appendInt(b, m.Batch)
+}
+
+func appendConfigureLB(b []byte, m *ConfigureLBRequest) []byte {
+	b = append(b, tagConfigureLBRequest)
+	b = appendF64(b, m.Threshold)
+	return appendF64(b, m.SplitProb)
+}
+
+func appendWorkerStats(b []byte, m *WorkerStats) []byte {
+	b = append(b, tagWorkerStats)
+	b = appendInt(b, m.ID)
+	b = appendStr(b, m.Role)
+	b = appendInt(b, m.Batch)
+	b = appendBool(b, m.Busy)
+	b = appendInt(b, m.Batches)
+	return appendInt(b, m.Queries)
+}
+
+func appendLBStats(b []byte, m *LBStats) []byte {
+	b = append(b, tagLBStats)
+	b = appendF64(b, m.Now)
+	b = appendInt(b, m.LightQueueLen)
+	b = appendInt(b, m.HeavyQueueLen)
+	b = appendF64(b, m.LightArrivalRate)
+	b = appendF64(b, m.HeavyArrivalRate)
+	b = appendInt(b, m.ArrivalsSinceTick)
+	b = appendInt(b, m.TimeoutsSinceTick)
+	b = appendInt(b, m.Completed)
+	return appendInt(b, m.Dropped)
+}
+
+func appendSubmitRequest(b []byte, m *SubmitRequest) []byte {
+	b = append(b, tagSubmitRequest)
+	if m.Queries == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(m.Queries))+1)
+	for i := range m.Queries {
+		b = appendInt(b, m.Queries[i].ID)
+		b = appendF64(b, m.Queries[i].Arrival)
+	}
+	return b
+}
+
+func appendResultsRequest(b []byte, m *ResultsRequest) []byte {
+	b = append(b, tagResultsRequest)
+	b = appendInt(b, m.Max)
+	return appendF64(b, m.Wait)
+}
+
+func appendResultsResponse(b []byte, m *ResultsResponse) []byte {
+	b = append(b, tagResultsResponse)
+	if m.Results == nil {
+		return appendUint(b, 0)
+	}
+	b = appendUint(b, uint64(len(m.Results))+1)
+	for i := range m.Results {
+		b = appendQueryResponse(b, &m.Results[i])
+	}
+	return b
+}
+
+// --- decode helpers ---
+
+type bdec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *bdec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s at offset %d", msg, d.off)
+	}
+}
+
+func (d *bdec) tag(want byte) {
+	if d.err != nil {
+		return
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated tag")
+		return
+	}
+	got := d.buf[d.off]
+	d.off++
+	if got != want {
+		d.fail(fmt.Sprintf("message tag %d, want %d", got, want))
+	}
+}
+
+func (d *bdec) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+func (d *bdec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *bdec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *bdec) str() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *bdec) floats() []float64 {
+	n := d.uint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	n--
+	// Division form avoids overflow on an adversarial length prefix.
+	if n > uint64(len(d.buf)-d.off)/8 {
+		d.fail("truncated float slice")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// count validates a length-prefixed element count against the bytes
+// remaining (each element encodes to at least one byte), so a
+// corrupted prefix cannot trigger a huge allocation.
+func (d *bdec) count() int {
+	n := d.uint()
+	if d.err != nil || n == 0 {
+		return -1 // nil slice
+	}
+	n--
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("slice count exceeds remaining bytes")
+		return -1
+	}
+	return int(n)
+}
+
+func readQueryMsg(d *bdec, m *QueryMsg) {
+	m.ID = d.int()
+	m.Arrival = d.f64()
+}
+
+func readQueryResponse(d *bdec, m *QueryResponse) {
+	m.ID = d.int()
+	m.Dropped = d.bool()
+	m.Variant = d.str()
+	m.Features = d.floats()
+	m.Artifact = d.f64()
+	m.Confidence = d.f64()
+	m.Deferred = d.bool()
+	m.Arrival = d.f64()
+	m.Completion = d.f64()
+}
+
+func readPullRequest(d *bdec, m *PullRequest) {
+	m.WorkerID = d.int()
+	m.Role = d.str()
+	m.Max = d.int()
+	m.Wait = d.f64()
+}
+
+func readPullResponse(d *bdec, m *PullResponse) {
+	n := d.count()
+	if n < 0 {
+		m.Queries = nil
+		return
+	}
+	m.Queries = make([]QueryMsg, n)
+	for i := range m.Queries {
+		readQueryMsg(d, &m.Queries[i])
+	}
+}
+
+func readCompleteRequest(d *bdec, m *CompleteRequest) {
+	m.WorkerID = d.int()
+	m.Role = d.str()
+	n := d.count()
+	if n < 0 {
+		m.Items = nil
+		return
+	}
+	m.Items = make([]CompleteItem, n)
+	for i := range m.Items {
+		it := &m.Items[i]
+		it.ID = d.int()
+		it.Arrival = d.f64()
+		it.Variant = d.str()
+		it.Features = d.floats()
+		it.Artifact = d.f64()
+		it.Confidence = d.f64()
+	}
+}
+
+func readWorkerStats(d *bdec, m *WorkerStats) {
+	m.ID = d.int()
+	m.Role = d.str()
+	m.Batch = d.int()
+	m.Busy = d.bool()
+	m.Batches = d.int()
+	m.Queries = d.int()
+}
+
+func readLBStats(d *bdec, m *LBStats) {
+	m.Now = d.f64()
+	m.LightQueueLen = d.int()
+	m.HeavyQueueLen = d.int()
+	m.LightArrivalRate = d.f64()
+	m.HeavyArrivalRate = d.f64()
+	m.ArrivalsSinceTick = d.int()
+	m.TimeoutsSinceTick = d.int()
+	m.Completed = d.int()
+	m.Dropped = d.int()
+}
+
+func readSubmitRequest(d *bdec, m *SubmitRequest) {
+	n := d.count()
+	if n < 0 {
+		m.Queries = nil
+		return
+	}
+	m.Queries = make([]QueryMsg, n)
+	for i := range m.Queries {
+		readQueryMsg(d, &m.Queries[i])
+	}
+}
+
+func readResultsResponse(d *bdec, m *ResultsResponse) {
+	n := d.count()
+	if n < 0 {
+		m.Results = nil
+		return
+	}
+	m.Results = make([]QueryResponse, n)
+	for i := range m.Results {
+		d.tag(tagQueryResponse)
+		readQueryResponse(d, &m.Results[i])
+	}
+}

@@ -2,9 +2,7 @@ package cluster
 
 import (
 	"context"
-	"net/http"
 	"sync/atomic"
-	"time"
 
 	"diffserve/internal/allocator"
 	"diffserve/internal/controller"
@@ -15,10 +13,10 @@ import (
 type ControllerConfig struct {
 	// Ctrl owns the allocator and demand estimation.
 	Ctrl *controller.Controller
-	// LBURL is the load balancer's base URL.
-	LBURL string
-	// WorkerURLs are the workers' base URLs.
-	WorkerURLs []string
+	// LB is the connection to the load balancer.
+	LB LBConn
+	// Workers are the control-plane connections to the workers.
+	Workers []WorkerConn
 	// Mode mirrors the LB's routing policy (decides whether plans set
 	// a threshold or a split probability).
 	Mode loadbalancer.Mode
@@ -30,8 +28,6 @@ type ControllerConfig struct {
 // pushes plans — the cluster analogue of the simulator's control tick.
 type ControllerLoop struct {
 	cfg      ControllerConfig
-	client   *http.Client
-	plans    []controller.PlanAt
 	lastTick float64
 	// assigned caches the last role pushed to each worker so ticks do
 	// not need a per-worker stats round-trip.
@@ -40,7 +36,7 @@ type ControllerLoop struct {
 
 // NewControllerLoop constructs the control loop.
 func NewControllerLoop(cfg ControllerConfig) *ControllerLoop {
-	return &ControllerLoop{cfg: cfg, client: &http.Client{Timeout: 10 * time.Second}}
+	return &ControllerLoop{cfg: cfg}
 }
 
 // Plans returns the plans applied so far.
@@ -57,17 +53,19 @@ func (c *ControllerLoop) Run(ctx context.Context) {
 		if atomic.CompareAndSwapInt32(&busy, 0, 1) {
 			go func() {
 				defer atomic.StoreInt32(&busy, 0)
-				c.TickOnce()
+				c.TickOnce(ctx)
 			}()
 		}
-		c.cfg.Clock.SleepTrace(c.cfg.Ctrl.Interval())
+		if !c.cfg.Clock.SleepTraceCtx(ctx, c.cfg.Ctrl.Interval()) {
+			return
+		}
 	}
 }
 
 // TickOnce performs one control period: poll stats, solve, push.
-func (c *ControllerLoop) TickOnce() {
-	var lbStats LBStats
-	if err := getJSON(c.client, c.cfg.LBURL+"/stats", &lbStats); err != nil {
+func (c *ControllerLoop) TickOnce(ctx context.Context) {
+	lbStats, err := c.cfg.LB.Stats(ctx)
+	if err != nil {
 		return // transient poll failure: keep the previous plan
 	}
 	elapsed := lbStats.Now - c.lastTick
@@ -84,29 +82,28 @@ func (c *ControllerLoop) TickOnce() {
 	if err != nil {
 		return
 	}
-	c.Apply(plan)
+	c.Apply(ctx, plan)
 }
 
 // Apply pushes a plan to the LB and workers. Worker role assignment
-// prefers keeping existing roles (queried via /stats) to minimize
-// model reloads.
-func (c *ControllerLoop) Apply(plan allocator.Plan) {
+// prefers keeping existing roles to minimize model reloads.
+func (c *ControllerLoop) Apply(ctx context.Context, plan allocator.Plan) {
 	// Configure the LB policy first so new completions observe the
 	// fresh threshold.
 	split := 0.0
 	if c.cfg.Mode == loadbalancer.ModeRandomSplit {
 		split = plan.DeferFraction
 	}
-	_ = postJSON(c.client, c.cfg.LBURL+"/configure", ConfigureLBRequest{
+	_ = c.cfg.LB.Configure(ctx, ConfigureLBRequest{
 		Threshold: plan.Threshold,
 		SplitProb: split,
-	}, nil)
+	})
 
 	// Current roles come from the assignment cache (the controller is
 	// the only writer of worker roles, so the cache is authoritative
 	// and avoids a per-worker stats round-trip each tick).
-	if len(c.assigned) != len(c.cfg.WorkerURLs) {
-		c.assigned = make([]string, len(c.cfg.WorkerURLs))
+	if len(c.assigned) != len(c.cfg.Workers) {
+		c.assigned = make([]string, len(c.cfg.Workers))
 		for i := range c.assigned {
 			c.assigned[i] = "idle"
 		}
@@ -147,14 +144,14 @@ func (c *ControllerLoop) Apply(plan allocator.Plan) {
 			next[i] = "idle"
 		}
 	}
-	for i, u := range c.cfg.WorkerURLs {
+	for i, conn := range c.cfg.Workers {
 		batch := plan.LightBatch
 		if next[i] == "heavy" {
 			batch = plan.HeavyBatch
 		}
-		_ = postJSON(c.client, u+"/configure", ConfigureWorkerRequest{
+		_ = conn.Configure(ctx, ConfigureWorkerRequest{
 			Role: next[i], Batch: batch,
-		}, nil)
+		})
 	}
 	c.assigned = next
 }

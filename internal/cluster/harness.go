@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"net/http"
-	"net/http/httptest"
 	"sync"
 	"time"
 
@@ -21,10 +19,10 @@ import (
 )
 
 // HarnessConfig assembles an in-process cluster: LB + workers +
-// controller on loopback HTTP, driven by a trace-replaying client.
-// The same servers back the standalone cmd/ binaries; the harness
-// exists so tests and the simulator-vs-cluster experiment can run the
-// full network path in one process.
+// controller wired through a pluggable transport, driven by a
+// trace-replaying client. The same servers back the standalone cmd/
+// binaries; the harness exists so tests and the simulator-vs-cluster
+// experiment can run the full data path in one process.
 type HarnessConfig struct {
 	Space        *imagespace.Space
 	Light, Heavy *model.Variant
@@ -43,6 +41,11 @@ type HarnessConfig struct {
 	DisableLoadDelay bool
 	// QueryIDBase offsets query IDs.
 	QueryIDBase int
+	// Transport selects how components are wired: "json" (HTTP +
+	// JSON codec, the default), "binary" (HTTP + binary codec), or
+	// "inproc" (direct calls, zero serialization — the fastest path
+	// for high timescale factors).
+	Transport string
 }
 
 func (c *HarnessConfig) validate() error {
@@ -69,6 +72,8 @@ type Result struct {
 	Reference *fid.Reference
 	Plans     []controller.PlanAt
 	Queries   int
+	// Transport names the transport the run used.
+	Transport string
 	// WallSeconds is the real elapsed time.
 	WallSeconds float64
 }
@@ -84,6 +89,12 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if cfg.Timescale <= 0 {
 		cfg.Timescale = 0.02
 	}
+	tp, err := NewTransport(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	defer tp.Close()
+
 	wallStart := time.Now()
 	clock := NewClock(cfg.Timescale)
 	rng := stats.NewRNG(cfg.Seed)
@@ -98,8 +109,10 @@ func Run(cfg HarnessConfig) (*Result, error) {
 		HeavyMinExec: cfg.Heavy.Latency.Latency(1),
 		Clock:        clock, Seed: cfg.Seed,
 	})
-	lbSrv := httptest.NewServer(lb.Mux())
-	defer lbSrv.Close()
+	lbConn, err := tp.ServeLB(lb)
+	if err != nil {
+		return nil, err
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -108,28 +121,22 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if cfg.Mode == loadbalancer.ModeCascade {
 		scorer = cfg.Scorer
 	}
-	workerURLs := make([]string, cfg.Workers)
-	var workerSrvs []*httptest.Server
+	workerConns := make([]WorkerConn, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		ws := NewWorkerServer(WorkerConfig{
-			ID: i, LBURL: lbSrv.URL,
+			ID: i, LB: lbConn,
 			Space: cfg.Space, Light: cfg.Light, Heavy: cfg.Heavy,
 			Scorer: scorer, Clock: clock,
 			DisableLoadDelay: cfg.DisableLoadDelay,
 		})
-		srv := httptest.NewServer(ws.Mux())
-		workerSrvs = append(workerSrvs, srv)
-		workerURLs[i] = srv.URL
+		if workerConns[i], err = tp.ServeWorker(ws); err != nil {
+			return nil, err
+		}
 		go ws.Loop(ctx)
 	}
-	defer func() {
-		for _, s := range workerSrvs {
-			s.Close()
-		}
-	}()
 
 	loop := NewControllerLoop(ControllerConfig{
-		Ctrl: cfg.Ctrl, LBURL: lbSrv.URL, WorkerURLs: workerURLs,
+		Ctrl: cfg.Ctrl, LB: lbConn, Workers: workerConns,
 		Mode: cfg.Mode, Clock: clock,
 	})
 	// Initial plan from the trace's starting rate, then periodic ticks.
@@ -139,48 +146,82 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	loop.Apply(initialPlan)
+	loop.Apply(ctx, initialPlan)
 	go loop.Run(ctx)
+
+	// Precompute arrivals and the FID reference features while setup
+	// time is still free.
+	arrivals := cfg.Trace.Arrivals(rng.Stream("trace"))
+	realFeats := make([][]float64, len(arrivals))
+	for i := range arrivals {
+		q := cfg.Space.SampleQuery(cfg.QueryIDBase + i)
+		realFeats[i] = cfg.Space.RealImage(q)
+	}
 
 	// Setup is done (servers up, initial plan applied): rewind trace
 	// time so setup cost does not eat into the replay.
 	clock.Restart()
 
-	// Replay the trace: one goroutine per query, submitted at its
-	// arrival time.
-	arrivals := cfg.Trace.Arrivals(rng.Stream("trace"))
-	realFeats := make([][]float64, len(arrivals))
-	client := &http.Client{Timeout: 5 * time.Minute}
-	var wg sync.WaitGroup
-	for i, at := range arrivals {
-		id := cfg.QueryIDBase + i
-		q := cfg.Space.SampleQuery(id)
-		realFeats[i] = cfg.Space.RealImage(q)
-		wg.Add(1)
-		go func(id int, at float64) {
-			defer wg.Done()
-			clock.SleepTrace(at - clock.Now())
-			var resp QueryResponse
-			_ = postJSON(client, lbSrv.URL+"/query", QueryMsg{ID: id, Arrival: at}, &resp)
-		}(id, at)
-	}
-
-	// Wait for the trace plus a drain grace, then shed leftovers.
+	// Replay the trace over the batched async submit path: one
+	// submitter goroutine groups queries that are due together into a
+	// single SubmitBatch round trip, and one collector goroutine
+	// long-polls for results — persistent connections end to end
+	// instead of a goroutine + blocking request per query.
 	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
+	var collected sync.WaitGroup
+	collected.Add(1)
+	go func() { // collector
+		defer collected.Done()
+		got := 0
+		for got < len(arrivals) && ctx.Err() == nil {
+			resp, err := lbConn.PollResults(ctx, ResultsRequest{Max: 1024, Wait: 1})
+			if err != nil {
+				// Transient transport failure: back off briefly.
+				clock.SleepTraceCtx(ctx, 0.05)
+				continue
+			}
+			got += len(resp.Results)
+		}
+		if got >= len(arrivals) {
+			close(done)
+		}
 	}()
+	go func() { // submitter
+		batch := make([]QueryMsg, 0, 64)
+		i := 0
+		for i < len(arrivals) {
+			if !clock.SleepTraceCtx(ctx, arrivals[i]-clock.Now()) {
+				return
+			}
+			now := clock.Now()
+			batch = batch[:0]
+			for i < len(arrivals) && arrivals[i] <= now {
+				batch = append(batch, QueryMsg{ID: cfg.QueryIDBase + i, Arrival: arrivals[i]})
+				i++
+			}
+			if err := lbConn.SubmitBatch(ctx, SubmitRequest{Queries: batch}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Wait for every query to resolve, plus a drain grace; then shed
+	// leftovers and, as a last resort, give up after a second grace
+	// (a lost submit batch can leave the collector short).
 	grace := 3*cfg.SLO + cfg.Heavy.Latency.Latency(cfg.Heavy.Latency.MaxBatch())
 	horizon := cfg.Trace.Duration() + grace
 	select {
 	case <-done:
-	case <-time.After(time.Duration(horizon * cfg.Timescale * float64(time.Second))):
+	case <-time.After(clock.WallDuration(horizon)):
 		lb.DrainRemaining()
-		<-done
+		select {
+		case <-done:
+		case <-time.After(clock.WallDuration(grace) + 2*time.Second):
+		}
 	}
 	lb.DrainRemaining()
 	cancel()
+	collected.Wait()
 
 	ref, err := fid.NewReference(realFeats)
 	if err != nil {
@@ -191,6 +232,7 @@ func Run(cfg HarnessConfig) (*Result, error) {
 		Reference:   ref,
 		Plans:       loop.Plans(),
 		Queries:     len(arrivals),
+		Transport:   tp.Name(),
 		WallSeconds: time.Since(wallStart).Seconds(),
 	}, nil
 }

@@ -1,9 +1,11 @@
 package cluster
 
 import (
-	"encoding/json"
+	"context"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"diffserve/internal/loadbalancer"
 	"diffserve/internal/metrics"
@@ -36,8 +38,12 @@ type LBConfig struct {
 }
 
 // LBServer is the data-path entry point: it queues queries per pool,
-// hands batches to pulling workers, applies the cascade threshold to
-// completed light generations, and resolves client waiters.
+// hands batches to pulling workers (blocking long polls when asked),
+// applies the cascade threshold to completed light generations, and
+// resolves client waiters. Its core methods (Submit, SubmitBatch,
+// PollResults, Pull, Complete, Configure, Stats) are
+// transport-agnostic; Mux wraps them in codec-aware HTTP handlers and
+// NewLocalLBConn dispatches to them directly.
 type LBServer struct {
 	cfg LBConfig
 
@@ -45,12 +51,21 @@ type LBServer struct {
 	lb        *loadbalancer.LB
 	threshold float64
 	waiters   map[int]chan QueryResponse
-	arrived   map[int]float64 // query ID -> arrival (trace time)
+	async     map[int]struct{} // batch-submitted queries awaiting results
+	results   []QueryResponse  // finished async results not yet fetched
+	arrived   map[int]float64  // query ID -> arrival (trace time)
 	col       *metrics.Collector
 	arrivals  int // since last stats poll
 	timeouts  int // since last stats poll
 	completed int
 	dropped   int
+	// Long-poll wakeups: closed-and-replaced broadcast channels, one
+	// for queued work (worker pulls) and one for finished results
+	// (client polls). resultsDirty batches the results wakeup: a
+	// whole Complete batch signals once, not once per query.
+	wakeWork     chan struct{}
+	wakeResults  chan struct{}
+	resultsDirty bool
 }
 
 // NewLBServer constructs a load balancer.
@@ -65,21 +80,35 @@ func NewLBServer(cfg LBConfig) *LBServer {
 		}
 	}
 	return &LBServer{
-		cfg:     cfg,
-		lb:      loadbalancer.New(cfg.Mode, cfg.QueueWindow, stats.NewRNG(cfg.Seed)),
-		waiters: make(map[int]chan QueryResponse),
-		arrived: make(map[int]float64),
-		col:     metrics.NewCollector(),
+		cfg:         cfg,
+		lb:          loadbalancer.New(cfg.Mode, cfg.QueueWindow, stats.NewRNG(cfg.Seed)),
+		waiters:     make(map[int]chan QueryResponse),
+		async:       make(map[int]struct{}),
+		arrived:     make(map[int]float64),
+		col:         metrics.NewCollector(),
+		wakeWork:    make(chan struct{}),
+		wakeResults: make(chan struct{}),
 	}
 }
 
 // Collector exposes the LB's metrics records (read after the run).
 func (s *LBServer) Collector() *metrics.Collector { return s.col }
 
-// Mux returns the HTTP handler exposing the LB API.
+// signal wakes every goroutine blocked on *ch and re-arms it. Callers
+// must hold s.mu.
+func signal(ch *chan struct{}) {
+	close(*ch)
+	*ch = make(chan struct{})
+}
+
+// Mux returns the HTTP handler exposing the LB API. Handlers decode
+// the request with the codec named by its Content-Type (JSON when
+// absent) and respond in kind.
 func (s *LBServer) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/results", s.handleResults)
 	mux.HandleFunc("/pull", s.handlePull)
 	mux.HandleFunc("/complete", s.handleComplete)
 	mux.HandleFunc("/configure", s.handleConfigure)
@@ -90,13 +119,9 @@ func (s *LBServer) Mux() *http.ServeMux {
 	return mux
 }
 
-// handleQuery admits a query and blocks until it completes or drops.
-func (s *LBServer) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var q QueryMsg
-	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+// Submit admits a query and blocks until it completes, drops, or ctx
+// is cancelled (reported by ok=false).
+func (s *LBServer) Submit(ctx context.Context, q QueryMsg) (resp QueryResponse, ok bool) {
 	now := s.cfg.Clock.Now()
 	if q.Arrival == 0 {
 		q.Arrival = now
@@ -108,35 +133,184 @@ func (s *LBServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.arrived[q.ID] = q.Arrival
 	s.arrivals++
 	s.lb.Route(now, queueing.Item{ID: q.ID, Arrival: q.Arrival})
+	signal(&s.wakeWork)
 	s.mu.Unlock()
 
 	select {
-	case resp := <-ch:
-		writeJSON(w, resp)
-	case <-r.Context().Done():
+	case resp = <-ch:
+		return resp, true
+	case <-ctx.Done():
 		s.mu.Lock()
 		delete(s.waiters, q.ID)
 		s.mu.Unlock()
+		return QueryResponse{}, false
 	}
 }
 
-// handlePull hands up to Max queued queries to a worker, shedding
-// queries that can no longer meet their deadline.
-func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
-	var req PullRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// SubmitBatch admits queries asynchronously: each will eventually
+// surface exactly one result (completion or drop) via PollResults.
+func (s *LBServer) SubmitBatch(qs []QueryMsg) {
+	if len(qs) == 0 {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	for _, q := range qs {
+		if q.Arrival == 0 {
+			q.Arrival = now
+		}
+		s.async[q.ID] = struct{}{}
+		s.arrived[q.ID] = q.Arrival
+		s.arrivals++
+		s.lb.Route(now, queueing.Item{ID: q.ID, Arrival: q.Arrival})
+	}
+	signal(&s.wakeWork)
+	s.mu.Unlock()
+}
+
+// PollResults returns finished async results, blocking up to req.Wait
+// trace-seconds for at least one to arrive.
+func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsResponse {
+	max := req.Max
+	if max <= 0 {
+		max = 256
+	}
+	var deadline time.Time
+	if req.Wait > 0 {
+		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	}
+	for {
+		s.mu.Lock()
+		if n := len(s.results); n > 0 {
+			if n > max {
+				n = max
+			}
+			out := make([]QueryResponse, n)
+			copy(out, s.results)
+			s.results = append(s.results[:0], s.results[n:]...)
+			s.mu.Unlock()
+			return ResultsResponse{Results: out}
+		}
+		wake := s.wakeResults
+		s.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if req.Wait <= 0 || remain <= 0 {
+			return ResultsResponse{}
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ResultsResponse{}
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// handleQuery admits a query and blocks until it completes or drops.
+func (s *LBServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q QueryMsg
+	codec, err := readMsg(r, &q)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	resp, ok := s.Submit(r.Context(), q)
+	if !ok {
+		return // client went away
+	}
+	writeMsg(w, codec, &resp)
+}
+
+// handleSubmit admits an async query batch.
+func (s *LBServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if _, err := readMsg(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.SubmitBatch(req.Queries)
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleResults long-polls for async results.
+func (s *LBServer) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req ResultsRequest
+	codec, err := readMsg(r, &req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := s.PollResults(r.Context(), req)
+	writeMsg(w, codec, &resp)
+}
+
+// Pull hands up to req.Max queued queries to a worker, shedding
+// queries that can no longer meet their deadline. With req.Wait > 0
+// it long-polls: the call blocks until a batch is dispatchable under
+// the coalescing policy or the wait expires.
+func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 	pool := loadbalancer.PoolLight
 	minExec := s.cfg.LightMinExec
 	if req.Role == "heavy" {
 		pool = loadbalancer.PoolHeavy
 		minExec = s.cfg.HeavyMinExec
 	}
-	now := s.cfg.Clock.Now()
+	var deadline time.Time
+	if req.Wait > 0 {
+		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	}
+	for {
+		now := s.cfg.Clock.Now()
+		s.mu.Lock()
+		items, retry := s.dequeueLocked(pool, minExec, req.Max, now)
+		s.flushResultsLocked() // dequeueLocked may have shed (dropped) queries
+		wake := s.wakeWork
+		s.mu.Unlock()
 
-	s.mu.Lock()
+		if len(items) > 0 {
+			resp := PullResponse{Queries: make([]QueryMsg, len(items))}
+			for i, it := range items {
+				resp.Queries[i] = QueryMsg{ID: it.ID, Arrival: it.Arrival}
+			}
+			return resp
+		}
+		remain := time.Until(deadline)
+		if req.Wait <= 0 || remain <= 0 {
+			return PullResponse{}
+		}
+		// Sleep until new work arrives, the head's coalesce window
+		// expires, or the long-poll deadline — whichever is first.
+		sleep := remain
+		if retry > 0 {
+			if d := s.cfg.Clock.WallDuration(retry); d < sleep {
+				sleep = d
+			}
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return PullResponse{}
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// dequeueLocked sheds expired queries, then dequeues a batch if one
+// is dispatchable under the coalescing policy. When the queue holds a
+// not-yet-dispatchable partial batch it returns the trace-seconds
+// until the head's coalesce window expires, so long polls can wake
+// exactly then.
+func (s *LBServer) dequeueLocked(pool loadbalancer.PoolID, minExec float64, max int, now float64) (items []queueing.Item, retry float64) {
 	q := s.lb.Queue(pool)
 	for _, it := range q.DropWhere(func(it queueing.Item) bool {
 		return now+minExec > it.Arrival+s.cfg.SLO
@@ -151,41 +325,62 @@ func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
 	if minExec < wait {
 		wait = minExec
 	}
-	var items []queueing.Item
-	if q.Len() >= req.Max {
-		items = q.Pop(now, req.Max)
-	} else if oldest, ok := q.PeekEnqueue(); ok && now-oldest >= wait {
-		items = q.Pop(now, req.Max)
+	if q.Len() >= max {
+		return q.Pop(now, max), 0
 	}
-	s.mu.Unlock()
-
-	resp := PullResponse{}
-	for _, it := range items {
-		resp.Queries = append(resp.Queries, QueryMsg{ID: it.ID, Arrival: it.Arrival})
+	if oldest, ok := q.PeekEnqueue(); ok {
+		if waited := now - oldest; waited >= wait {
+			return q.Pop(now, max), 0
+		} else {
+			return nil, wait - waited
+		}
 	}
-	writeJSON(w, resp)
+	return nil, 0
 }
 
-// handleComplete receives a finished batch: light-pool results are
-// thresholded (serve or defer); heavy-pool results always serve.
-func (s *LBServer) handleComplete(w http.ResponseWriter, r *http.Request) {
-	var req CompleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// handlePull serves worker pulls.
+func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req PullRequest
+	codec, err := readMsg(r, &req)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	resp := s.Pull(r.Context(), req)
+	writeMsg(w, codec, &resp)
+}
+
+// Complete receives a finished batch: light-pool results are
+// thresholded (serve or defer); heavy-pool results always serve.
+func (s *LBServer) Complete(req CompleteRequest) {
 	now := s.cfg.Clock.Now()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	deferred := false
 	for _, item := range req.Items {
 		cascadeLight := req.Role == "light" && s.cfg.Mode == loadbalancer.ModeCascade
 		if cascadeLight && item.Confidence < s.threshold {
 			s.lb.Defer(now, queueing.Item{ID: item.ID, Arrival: item.Arrival})
+			deferred = true
 			continue
 		}
 		s.completeLocked(item, now, req.Role == "heavy")
 	}
+	s.flushResultsLocked()
+	if deferred {
+		signal(&s.wakeWork)
+	}
+}
+
+// handleComplete serves completion reports.
+func (s *LBServer) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if _, err := readMsg(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Complete(req)
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -207,15 +402,12 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 	}
 	s.col.Record(rec)
 	s.completed++
-	if ch, ok := s.waiters[item.ID]; ok {
-		ch <- QueryResponse{
-			ID: item.ID, Variant: item.Variant, Features: item.Features,
-			Artifact: item.Artifact, Confidence: item.Confidence,
-			Deferred: deferred, Arrival: item.Arrival, Completion: now,
-		}
-		delete(s.waiters, item.ID)
+	resp := QueryResponse{
+		ID: item.ID, Variant: item.Variant, Features: item.Features,
+		Artifact: item.Artifact, Confidence: item.Confidence,
+		Deferred: deferred, Arrival: item.Arrival, Completion: now,
 	}
-	delete(s.arrived, item.ID)
+	s.resolveLocked(item.ID, resp)
 }
 
 // dropLocked sheds a query.
@@ -225,30 +417,56 @@ func (s *LBServer) dropLocked(id int, arrival float64) {
 	})
 	s.dropped++
 	s.timeouts++
+	s.resolveLocked(id, QueryResponse{ID: id, Dropped: true, Arrival: arrival})
+}
+
+// resolveLocked delivers a query's final outcome to whichever side is
+// waiting for it: a blocking Submit waiter, or the async results
+// buffer drained by PollResults.
+func (s *LBServer) resolveLocked(id int, resp QueryResponse) {
 	if ch, ok := s.waiters[id]; ok {
-		ch <- QueryResponse{ID: id, Dropped: true, Arrival: arrival}
+		ch <- resp
 		delete(s.waiters, id)
+	}
+	if _, ok := s.async[id]; ok {
+		s.results = append(s.results, resp)
+		delete(s.async, id)
+		s.resultsDirty = true
 	}
 	delete(s.arrived, id)
 }
 
-// handleConfigure updates threshold / split probability.
-func (s *LBServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
-	var req ConfigureLBRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+// flushResultsLocked wakes result pollers once for however many
+// results the caller just resolved. Callers must hold s.mu.
+func (s *LBServer) flushResultsLocked() {
+	if s.resultsDirty {
+		signal(&s.wakeResults)
+		s.resultsDirty = false
 	}
+}
+
+// Configure updates threshold / split probability.
+func (s *LBServer) Configure(req ConfigureLBRequest) {
 	s.mu.Lock()
 	s.threshold = req.Threshold
 	s.lb.SetSplit(req.SplitProb)
 	s.mu.Unlock()
+}
+
+// handleConfigure serves policy updates.
+func (s *LBServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req ConfigureLBRequest
+	if _, err := readMsg(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Configure(req)
 	w.WriteHeader(http.StatusOK)
 }
 
-// handleStats reports control-plane statistics and resets the
-// per-tick counters.
-func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
+// Stats reports control-plane statistics and resets the per-tick
+// counters.
+func (s *LBServer) Stats() LBStats {
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	snap := s.lb.Snap(now)
@@ -266,7 +484,14 @@ func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.arrivals = 0
 	s.timeouts = 0
 	s.mu.Unlock()
-	writeJSON(w, out)
+	return out
+}
+
+// handleStats serves the control-plane report. The response codec
+// follows the Accept header (GET has no body to infer from).
+func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := s.Stats()
+	writeMsg(w, codecForContentType(r.Header.Get("Accept")), &out)
 }
 
 // DrainRemaining drops every still-queued query (end of run).
@@ -280,11 +505,28 @@ func (s *LBServer) DrainRemaining() {
 			s.dropLocked(it.ID, it.Arrival)
 		}
 	}
+	s.flushResultsLocked()
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+// readMsg decodes an HTTP request body with the codec named by its
+// Content-Type header (JSON when absent) and returns that codec so
+// the response can be written in kind.
+func readMsg(r *http.Request, v interface{}) (Codec, error) {
+	codec := codecForContentType(r.Header.Get("Content-Type"))
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return codec, err
 	}
+	return codec, codec.Unmarshal(body, v)
+}
+
+// writeMsg encodes a response with the given codec.
+func writeMsg(w http.ResponseWriter, codec Codec, v interface{}) {
+	data, err := codec.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.Write(data)
 }

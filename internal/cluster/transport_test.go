@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"diffserve/internal/loadbalancer"
+	"diffserve/internal/trace"
+)
+
+func newTestLB(timescale float64) *LBServer {
+	return NewLBServer(LBConfig{
+		Mode: loadbalancer.ModeCascade, SLO: 50,
+		LightMinExec: 0.1, HeavyMinExec: 1.78,
+		Clock: NewClock(timescale), Seed: 1,
+	})
+}
+
+func TestSleepTraceCtxInterruptible(t *testing.T) {
+	c := NewClock(1) // 1 trace second = 1 wall second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if c.SleepTraceCtx(ctx, 30) {
+		t.Error("interrupted sleep reported full elapse")
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("cancelled sleep blocked for %v", wall)
+	}
+	if !c.SleepTraceCtx(context.Background(), 0.001) {
+		t.Error("uninterrupted sleep should report true")
+	}
+	if c.SleepTraceCtx(ctx, 0.001) {
+		t.Error("sleep under a cancelled context should report false")
+	}
+}
+
+func TestPullLongPollBlocksUntilWork(t *testing.T) {
+	lb := newTestLB(0.01)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		lb.SubmitBatch([]QueryMsg{{ID: 11, Arrival: 0.001}})
+	}()
+	start := time.Now()
+	// Wait 10 trace seconds = 100ms wall; work arrives at ~30ms.
+	resp := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 10})
+	if len(resp.Queries) != 1 || resp.Queries[0].ID != 11 {
+		t.Fatalf("long poll returned %+v", resp.Queries)
+	}
+	if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
+		t.Errorf("long poll returned after %v, want ~30ms", wall)
+	}
+	lb.DrainRemaining()
+}
+
+func TestPullLongPollHonorsDeadline(t *testing.T) {
+	lb := newTestLB(0.01)
+	start := time.Now()
+	resp := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 3})
+	if len(resp.Queries) != 0 {
+		t.Fatalf("empty queue long poll returned %+v", resp.Queries)
+	}
+	// 3 trace seconds at 0.01 = 30ms wall.
+	if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
+		t.Errorf("long poll deadline after %v, want ~30ms", wall)
+	}
+}
+
+func TestPullLongPollCancellable(t *testing.T) {
+	lb := newTestLB(1) // 60 trace seconds would be a minute of wall time
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	resp := lb.Pull(ctx, PullRequest{Role: "light", Max: 1, Wait: 60})
+	if len(resp.Queries) != 0 {
+		t.Fatalf("cancelled long poll returned %+v", resp.Queries)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("cancelled long poll blocked for %v", wall)
+	}
+}
+
+func TestSubmitBatchResultsRoundTrip(t *testing.T) {
+	lb := newTestLB(0.001)
+	lb.SubmitBatch([]QueryMsg{{ID: 1, Arrival: 0.001}, {ID: 2, Arrival: 0.001}})
+
+	pulled := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 2, Wait: 5})
+	if len(pulled.Queries) != 2 {
+		t.Fatalf("pulled %+v", pulled.Queries)
+	}
+	items := make([]CompleteItem, len(pulled.Queries))
+	for i, q := range pulled.Queries {
+		items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "sdturbo", Confidence: 0.9}
+	}
+	lb.Complete(CompleteRequest{Role: "light", Items: items})
+
+	got := map[int]bool{}
+	for len(got) < 2 {
+		resp := lb.PollResults(context.Background(), ResultsRequest{Max: 10, Wait: 5})
+		if len(resp.Results) == 0 {
+			t.Fatal("PollResults returned empty before all results arrived")
+		}
+		for _, r := range resp.Results {
+			if r.Dropped || r.Variant != "sdturbo" {
+				t.Errorf("result %+v", r)
+			}
+			got[r.ID] = true
+		}
+	}
+	if !got[1] || !got[2] {
+		t.Errorf("missing results: %v", got)
+	}
+	if lb.Collector().Len() != 2 {
+		t.Errorf("collector has %d records", lb.Collector().Len())
+	}
+}
+
+// TestTransportsAgreeOnHTTPAndLocal drives the same single-query flow
+// through the binary HTTP conn and the local conn and checks the
+// responses match field for field.
+func TestTransportsAgreeOnHTTPAndLocal(t *testing.T) {
+	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
+		t.Run(name, func(t *testing.T) {
+			tp, err := NewTransport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tp.Close()
+			lb := newTestLB(0.001)
+			conn, err := tp.ServeLB(lb)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			respCh := make(chan QueryResponse, 1)
+			errCh := make(chan error, 1)
+			go func() {
+				resp, err := conn.Submit(context.Background(), QueryMsg{ID: 7, Arrival: 0.001})
+				errCh <- err
+				respCh <- resp
+			}()
+			pulled, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 20})
+			if err != nil || len(pulled.Queries) != 1 {
+				t.Fatalf("pull = %+v, %v", pulled, err)
+			}
+			err = conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: []CompleteItem{{
+				ID: 7, Arrival: 0.001, Variant: "sdturbo",
+				Features: []float64{1, 2}, Artifact: 0.5, Confidence: 0.9,
+			}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			resp := <-respCh
+			if resp.ID != 7 || resp.Dropped || resp.Variant != "sdturbo" ||
+				len(resp.Features) != 2 || resp.Artifact != 0.5 || resp.Confidence != 0.9 {
+				t.Errorf("response = %+v", resp)
+			}
+
+			if err := conn.Configure(context.Background(), ConfigureLBRequest{Threshold: 0.5}); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := conn.Stats(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Completed != 1 || stats.Dropped != 0 {
+				t.Errorf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+func TestWorkerConnAcrossTransports(t *testing.T) {
+	f := newFixtures(t)
+	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
+		t.Run(name, func(t *testing.T) {
+			tp, err := NewTransport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tp.Close()
+			ws := NewWorkerServer(WorkerConfig{
+				ID: 4, Space: f.space, Light: f.light, Heavy: f.heavy,
+				Scorer: f.scorer, Clock: NewClock(0.001), DisableLoadDelay: true,
+			})
+			conn, err := tp.ServeWorker(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := conn.Configure(context.Background(), ConfigureWorkerRequest{Role: "heavy", Batch: 6}); err != nil {
+				t.Fatal(err)
+			}
+			st, err := conn.Stats(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ID != 4 || st.Role != "heavy" || st.Batch != 6 {
+				t.Errorf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestHarnessTransportEquivalence replays the same lightly loaded
+// trace at a fixed seed through all three transports and requires
+// identical completed/dropped outcomes: with ample capacity the
+// outcome set is timing-insensitive, so any divergence indicates a
+// transport bug rather than scheduling noise.
+func TestHarnessTransportEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transport equivalence harness skipped in -short mode")
+	}
+	f := newFixtures(t)
+	tr, err := trace.Static(6, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		completed, dropped, queries int
+		fid                         float64
+	}
+	outcomes := map[string]outcome{}
+	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
+		res, err := Run(HarnessConfig{
+			Space: f.space, Light: f.light, Heavy: f.heavy, Scorer: f.scorer,
+			Mode: loadbalancer.ModeCascade, Workers: 8, SLO: 5,
+			Trace: tr, Ctrl: f.controller(t, 8, 5),
+			Timescale: 0.02, Seed: 4242, DisableLoadDelay: true,
+			Transport: name,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sum := res.Summary()
+		dropped := int(math.Round(sum.DropRatio * float64(sum.Queries)))
+		outcomes[name] = outcome{
+			completed: sum.Queries - dropped, dropped: dropped,
+			queries: res.Queries, fid: sum.FID,
+		}
+		t.Logf("%-7s completed=%d dropped=%d FID=%.2f wall=%.2fs",
+			name, outcomes[name].completed, outcomes[name].dropped, sum.FID, res.WallSeconds)
+	}
+	base := outcomes[TransportJSON]
+	if base.dropped != 0 {
+		t.Errorf("json transport dropped %d queries under light load", base.dropped)
+	}
+	for name, o := range outcomes {
+		if o.queries != base.queries || o.completed != base.completed || o.dropped != base.dropped {
+			t.Errorf("%s outcome %+v != json %+v", name, o, base)
+		}
+	}
+}

@@ -1,7 +1,27 @@
-// Package cluster is the real-process runtime of DiffServe: an HTTP
-// load balancer, GPU workers, and a controller communicating over
-// JSON, mirroring the paper's testbed implementation (§4.1, artifact
-// Appendix A) with net/http standing in for gRPC.
+// Package cluster is the real-process runtime of DiffServe: a load
+// balancer, GPU workers, and a controller, mirroring the paper's
+// testbed implementation (§4.1, artifact Appendix A).
+//
+// Components are wired through a pluggable transport seam with three
+// layers:
+//
+//   - wire messages (QueryMsg, PullRequest/Response, CompleteRequest,
+//     stats and configure messages) — plain structs with stable
+//     payload semantics;
+//   - a Codec (CodecJSON, CodecBinary) that serializes those messages
+//     — the binary codec is hand-rolled and length-prefixed, with no
+//     reflection on the hot path;
+//   - a Transport / LBConn / WorkerConn abstraction over how encoded
+//     messages move: persistent HTTP connections (with either codec),
+//     or an in-process fast path that dispatches direct calls with
+//     zero serialization so the harness can validate at the highest
+//     timescale factors.
+//
+// The data path is pull-based and latency-conscious: clients submit
+// query batches asynchronously and long-poll for results; idle
+// workers long-poll the load balancer for work (the pull blocks
+// server-side until a batch is dispatchable or a deadline passes,
+// instead of sleep-and-retry).
 //
 // Model execution is simulated by sleeping for the profiled latency
 // (the artifact's --do_simulate mode) scaled by a configurable
@@ -18,6 +38,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -46,12 +67,37 @@ type QueryResponse struct {
 	Completion float64   `json:"completion"`
 }
 
+// SubmitRequest batches asynchronous query submissions: the call
+// returns immediately and results are fetched with ResultsRequest.
+// This is the persistent-connection client data path — one round
+// trip admits a whole arrival batch instead of one blocking request
+// per query.
+type SubmitRequest struct {
+	Queries []QueryMsg `json:"queries"`
+}
+
+// ResultsRequest long-polls for completed (or dropped) query results:
+// the server blocks until at least one result is available or Wait
+// trace-seconds pass.
+type ResultsRequest struct {
+	Max  int     `json:"max"`
+	Wait float64 `json:"wait,omitempty"` // trace seconds
+}
+
+// ResultsResponse carries completed query results.
+type ResultsResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
 // PullRequest asks the load balancer for up to Max queued queries for
-// the given pool.
+// the given pool. A positive Wait turns the pull into a long poll:
+// the server blocks until a batch is dispatchable or Wait
+// trace-seconds pass, which replaces client-side sleep-and-retry.
 type PullRequest struct {
-	WorkerID int    `json:"worker_id"`
-	Role     string `json:"role"` // "light" or "heavy"
-	Max      int    `json:"max"`
+	WorkerID int     `json:"worker_id"`
+	Role     string  `json:"role"` // "light" or "heavy"
+	Max      int     `json:"max"`
+	Wait     float64 `json:"wait,omitempty"` // trace seconds
 }
 
 // PullResponse carries the dequeued work.
@@ -111,7 +157,8 @@ type LBStats struct {
 	Dropped           int     `json:"dropped"`
 }
 
-// postJSON is the shared JSON-over-HTTP helper.
+// postJSON is the shared JSON-over-HTTP helper (pre-codec wire path,
+// kept for the tests and any external JSON clients).
 func postJSON(client *http.Client, url string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -134,8 +181,9 @@ func postJSON(client *http.Client, url string, in, out interface{}) error {
 	return nil
 }
 
-// PostJSON posts a JSON document and decodes the JSON response. The
-// standalone client binary uses it to talk to the load balancer.
+// PostJSON posts a JSON document and decodes the JSON response.
+// External JSON clients can use it to talk to the load balancer;
+// in-repo components use an LBConn instead.
 func PostJSON(client *http.Client, url string, in, out interface{}) error {
 	return postJSON(client, url, in, out)
 }
@@ -188,12 +236,39 @@ func (c *Clock) Restart() {
 	c.mu.Unlock()
 }
 
+// WallDuration converts a trace-seconds interval to wall time.
+func (c *Clock) WallDuration(traceSecs float64) time.Duration {
+	return time.Duration(traceSecs * c.timescale * float64(time.Second))
+}
+
 // SleepTrace blocks for d trace-seconds.
 func (c *Clock) SleepTrace(d float64) {
 	if d <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(d * c.timescale * float64(time.Second)))
+	time.Sleep(c.WallDuration(d))
+}
+
+// SleepTraceCtx blocks for d trace-seconds or until ctx is cancelled,
+// whichever comes first. It reports whether the full sleep elapsed.
+// Long-running loops use it so harness shutdown does not block on
+// in-flight simulated sleeps at low timescales.
+func (c *Clock) SleepTraceCtx(ctx context.Context, d float64) bool {
+	if d <= 0 {
+		return ctx == nil || ctx.Err() == nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(c.WallDuration(d))
+		return true
+	}
+	t := time.NewTimer(c.WallDuration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Timescale returns the wall-seconds-per-trace-second factor.

@@ -2,10 +2,8 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"net/http"
 	"sync"
-	"time"
 
 	"diffserve/internal/discriminator"
 	"diffserve/internal/imagespace"
@@ -16,8 +14,9 @@ import (
 // WorkerConfig parameterizes a worker process.
 type WorkerConfig struct {
 	ID int
-	// LBURL is the load balancer's base URL.
-	LBURL string
+	// LB is the connection to the load balancer (HTTP with either
+	// codec, or the in-process fast path).
+	LB LBConn
 	// Space regenerates query content; all processes share its seed.
 	Space *imagespace.Space
 	// Light and Heavy are the variants this worker can host.
@@ -26,19 +25,25 @@ type WorkerConfig struct {
 	Scorer discriminator.Scorer
 	// Clock provides trace time and scaled sleeping.
 	Clock *Clock
-	// PollInterval is the idle re-poll delay in trace seconds.
+	// PollInterval is the idle re-check delay in trace seconds, used
+	// while the worker has no role assigned.
 	PollInterval float64
+	// PullWait is the long-poll duration in trace seconds: each pull
+	// blocks server-side until work is dispatchable or PullWait
+	// passes. It bounds how long a role change can go unnoticed, so
+	// it stays well under the control interval.
+	PullWait float64
 	// DisableLoadDelay skips model-switch downtime.
 	DisableLoadDelay bool
 }
 
-// WorkerServer simulates one GPU worker: it pulls batches from the
-// load balancer, sleeps for the profiled execution latency (timescale-
-// adjusted), generates images deterministically, scores them with the
-// discriminator when hosting the light model, and reports completions.
+// WorkerServer simulates one GPU worker: it long-polls batches from
+// the load balancer, sleeps for the profiled execution latency
+// (timescale-adjusted), generates images deterministically, scores
+// them with the discriminator when hosting the light model, and
+// reports completions.
 type WorkerServer struct {
-	cfg    WorkerConfig
-	client *http.Client
+	cfg WorkerConfig
 
 	mu    sync.Mutex
 	state *worker.Worker
@@ -50,10 +55,12 @@ func NewWorkerServer(cfg WorkerConfig) *WorkerServer {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 0.05
 	}
+	if cfg.PullWait <= 0 {
+		cfg.PullWait = 0.25
+	}
 	return &WorkerServer{
-		cfg:    cfg,
-		client: &http.Client{Timeout: 30 * time.Second},
-		state:  worker.New(cfg.ID),
+		cfg:   cfg,
+		state: worker.New(cfg.ID),
 	}
 }
 
@@ -81,15 +88,10 @@ func parseRole(s string) worker.Role {
 
 func roleName(r worker.Role) string { return r.String() }
 
-// handleConfigure reassigns the worker's model and batch size. Role
+// Configure reassigns the worker's model and batch size. Role
 // switches incur the variant's load time (timescale-adjusted) unless
 // disabled.
-func (s *WorkerServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
-	var req ConfigureWorkerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+func (s *WorkerServer) Configure(req ConfigureWorkerRequest) {
 	role := parseRole(req.Role)
 	load := 0.0
 	if !s.cfg.DisableLoadDelay {
@@ -104,6 +106,16 @@ func (s *WorkerServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.state.Assign(now, role, maxInt(req.Batch, 1), load)
 	s.mu.Unlock()
+}
+
+// handleConfigure serves role reassignments.
+func (s *WorkerServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req ConfigureWorkerRequest
+	if _, err := readMsg(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Configure(req)
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -114,8 +126,8 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// handleStats reports the worker's state.
-func (s *WorkerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+// Stats reports the worker's state.
+func (s *WorkerServer) Stats() WorkerStats {
 	s.mu.Lock()
 	out := WorkerStats{
 		ID:      s.state.ID(),
@@ -126,12 +138,19 @@ func (s *WorkerServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries: s.state.Queries(),
 	}
 	s.mu.Unlock()
-	writeJSON(w, out)
+	return out
+}
+
+// handleStats serves the worker's control-plane report.
+func (s *WorkerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := s.Stats()
+	writeMsg(w, codecForContentType(r.Header.Get("Accept")), &out)
 }
 
 // Loop runs the worker's pull-execute-complete cycle until the context
 // is cancelled. It is the cluster analogue of the simulator's
-// dispatch/onBatchDone events.
+// dispatch/onBatchDone events. Pulls long-poll server-side, so an
+// idle worker consumes no wire round-trips between arrivals.
 func (s *WorkerServer) Loop(ctx context.Context) {
 	for ctx.Err() == nil {
 		now := s.cfg.Clock.Now()
@@ -142,25 +161,34 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 		s.mu.Unlock()
 
 		if role == worker.RoleIdle || !available {
-			s.cfg.Clock.SleepTrace(s.cfg.PollInterval)
+			if !s.cfg.Clock.SleepTraceCtx(ctx, s.cfg.PollInterval) {
+				return
+			}
 			continue
 		}
 
-		var pulled PullResponse
-		err := postJSON(s.client, s.cfg.LBURL+"/pull", PullRequest{
-			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch,
-		}, &pulled)
-		if err != nil || len(pulled.Queries) == 0 {
-			s.cfg.Clock.SleepTrace(s.cfg.PollInterval)
+		pulled, err := s.cfg.LB.Pull(ctx, PullRequest{
+			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch, Wait: s.cfg.PullWait,
+		})
+		if err != nil {
+			// Transient transport failure: back off briefly.
+			if !s.cfg.Clock.SleepTraceCtx(ctx, s.cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		if len(pulled.Queries) == 0 {
+			// Long poll expired with no work; re-check role and
+			// availability before the next pull.
 			continue
 		}
 
-		s.executeBatch(role, pulled.Queries)
+		s.executeBatch(ctx, role, pulled.Queries)
 	}
 }
 
 // executeBatch simulates execution and reports completions.
-func (s *WorkerServer) executeBatch(role worker.Role, queries []QueryMsg) {
+func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, queries []QueryMsg) {
 	n := len(queries)
 	variant := s.cfg.Light
 	if role == worker.RoleHeavy {
@@ -179,24 +207,27 @@ func (s *WorkerServer) executeBatch(role worker.Role, queries []QueryMsg) {
 	s.busy = true
 	s.mu.Unlock()
 
-	s.cfg.Clock.SleepTrace(exec)
+	finished := s.cfg.Clock.SleepTraceCtx(ctx, exec)
 
-	req := CompleteRequest{WorkerID: s.cfg.ID, Role: roleName(role)}
-	for _, q := range queries {
-		query := s.cfg.Space.SampleQuery(q.ID)
-		img := s.cfg.Space.GenerateDeterministic(query, variant.Name, variant.Gen)
-		item := CompleteItem{
-			ID: q.ID, Arrival: q.Arrival,
-			Variant: img.Variant, Features: img.Features, Artifact: img.Artifact,
+	if finished {
+		req := CompleteRequest{WorkerID: s.cfg.ID, Role: roleName(role)}
+		req.Items = make([]CompleteItem, 0, n)
+		for _, q := range queries {
+			query := s.cfg.Space.SampleQuery(q.ID)
+			img := s.cfg.Space.GenerateDeterministic(query, variant.Name, variant.Gen)
+			item := CompleteItem{
+				ID: q.ID, Arrival: q.Arrival,
+				Variant: img.Variant, Features: img.Features, Artifact: img.Artifact,
+			}
+			if role == worker.RoleLight && s.cfg.Scorer != nil {
+				item.Confidence = s.cfg.Scorer.Confidence(query, img)
+			}
+			req.Items = append(req.Items, item)
 		}
-		if role == worker.RoleLight && s.cfg.Scorer != nil {
-			item.Confidence = s.cfg.Scorer.Confidence(query, img)
-		}
-		req.Items = append(req.Items, item)
+		// Completion failures are dropped queries from the client's
+		// view; nothing to retry meaningfully in a lossy run.
+		_ = s.cfg.LB.Complete(ctx, req)
 	}
-	// Completion failures are dropped queries from the client's view;
-	// nothing to retry meaningfully in a lossy run.
-	_ = postJSON(s.client, s.cfg.LBURL+"/complete", req, nil)
 
 	s.mu.Lock()
 	s.busy = false

@@ -51,6 +51,10 @@ type Config struct {
 	// worker per available CPU; 1 forces serial execution. Results are
 	// bit-for-bit identical at every setting.
 	Parallelism int
+	// ClusterTransport selects the cluster runtime's wire path for
+	// SimVsCluster: "json" (default), "binary", or "inproc". The
+	// in-process transport replays at the highest timescale factors.
+	ClusterTransport string
 }
 
 func (c Config) withDefaults() Config {

@@ -203,6 +203,36 @@ func TestSimVsClusterAgreement(t *testing.T) {
 	}
 }
 
+// TestSimVsClusterInprocTransport re-runs the validation over the
+// in-process transport, which replays at 5x the HTTP timescale. The
+// zero-serialization path must agree with the simulator just like the
+// wire paths do.
+func TestSimVsClusterInprocTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster comparison skipped in -short mode")
+	}
+	cfg := shortCfg()
+	cfg.ClusterTransport = "inproc"
+	r, err := SimVsCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Sim.FID) || math.IsNaN(r.Cluster.FID) {
+		t.Fatal("FID not computed")
+	}
+	if !strings.Contains(r.Cluster.Approach, "inproc") {
+		t.Errorf("cluster approach %q does not name the transport", r.Cluster.Approach)
+	}
+	// Same agreement headroom as the JSON-transport test: the cluster
+	// side still runs on (compressed) wall-clock time under CI load.
+	if r.FIDDeltaPct > 8 {
+		t.Errorf("FID delta %.2f%% too large", r.FIDDeltaPct)
+	}
+	if r.ViolationDeltaAbs > 0.20 {
+		t.Errorf("violation delta %.3f too large", r.ViolationDeltaAbs)
+	}
+}
+
 func TestReuseStudyCompatibility(t *testing.T) {
 	r, err := ReuseStudy(shortCfg())
 	if err != nil {

@@ -1,71 +1,10 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "diffserve/internal/parallel"
 
-// fanOut runs fn for every index in [0, n) on up to `workers`
-// goroutines (0 or negative means one per available CPU) and returns
-// the results in index order.
-//
-// Independent simulation runs, sweep points, and cascade curves each
-// own their seeded RNG streams and mutate no shared state (the
-// imagespace generation cache is internally synchronized and
-// value-deterministic), so fanning them out is bit-for-bit
-// deterministic: the result slice is identical to a serial loop
-// regardless of worker count or scheduling order. The first error
-// encountered in index order is returned, mirroring a serial loop's
-// fail-fast behavior.
+// fanOut fans n index-ordered jobs across up to `workers` goroutines;
+// see parallel.Map (the exported home of the pool) for the
+// determinism and fail-fast contract.
 func fanOut[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				// Fail fast: once any job has errored, in-flight jobs
-				// finish but no new jobs start.
-				if failed.Load() {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = fn(i)
-				if errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return parallel.Map(workers, n, fn)
 }

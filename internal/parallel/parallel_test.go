@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderingAndFastPath(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := Map(workers, 37, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if out, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 10, func(i int) (int, error) {
+			if i >= 3 {
+				return 0, wantErr
+			}
+			return i, nil
+		})
+		if err != wantErr {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(3, 64, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds worker cap 3", peak.Load())
+	}
+}

@@ -4,7 +4,6 @@
 package simring
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,23 +15,63 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a typed binary min-heap ordered by (at, seq). It
+// replaces the container/heap adapter: pushing and popping concrete
+// events avoids boxing every event into an interface{} on the
+// simulator's hottest path, and the sift operations inline. The
+// ordering predicate is identical to the old heap.Interface Less, so
+// pop order is unchanged.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and sifts it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	top := s[n]
+	s[n] = event{} // release the closure for GC
+	s = s[:n]
+	*h = s
+	// Sift the relocated root down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Sim is a single-threaded discrete-event simulator. The zero value
@@ -66,7 +105,7 @@ func (s *Sim) At(t float64, fn func()) {
 		panic(fmt.Sprintf("simring: invalid event time %v", t))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -86,7 +125,7 @@ func (s *Sim) Run(until float64) int {
 		if s.events[0].at > until {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		s.now = e.at
 		e.fn()
 		s.executed++

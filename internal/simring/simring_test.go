@@ -2,8 +2,68 @@ package simring
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
+
+// TestTypedHeapPopOrderMatchesReference pushes a large randomized
+// schedule (with many duplicate timestamps to exercise FIFO
+// tie-breaking) and checks the typed heap pops events in exactly the
+// (at, seq) order a stable sort produces — the same total order the
+// old container/heap adapter guaranteed.
+func TestTypedHeapPopOrderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	s := New()
+	type stamp struct {
+		at  float64
+		idx int
+	}
+	const n = 5000
+	want := make([]stamp, 0, n)
+	got := make([]stamp, 0, n)
+	for i := 0; i < n; i++ {
+		at := float64(rng.Intn(200)) / 4 // heavy duplication
+		i := i
+		want = append(want, stamp{at: at, idx: i})
+		s.At(at, func() { got = append(got, stamp{at: s.Now(), idx: i}) })
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+	if ran := s.Drain(); ran != n {
+		t.Fatalf("Drain ran %d of %d", ran, n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTypedHeapInterleavedPushPop interleaves scheduling with
+// execution so sift-down paths from mid-heap states get exercised.
+func TestTypedHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := New()
+	executed := 0
+	var last float64
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			at := s.Now() + rng.Float64()*10
+			s.At(at, func() {
+				if s.Now() < last {
+					t.Errorf("event time went backwards: %v after %v", s.Now(), last)
+				}
+				last = s.Now()
+				executed++
+			})
+		}
+		s.Run(s.Now() + 5)
+	}
+	s.Drain()
+	if executed != 50*40 {
+		t.Errorf("executed %d of %d", executed, 50*40)
+	}
+}
 
 func TestEventOrdering(t *testing.T) {
 	s := New()

@@ -11,3 +11,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The cluster runtime is the one heavily concurrent package (long-poll
+# waiters, broadcast wakeups, shared clock): run its data-path tests
+# under the race detector. -short skips the wall-clock-calibrated
+# end-to-end harness assertions, which the ~10x race slowdown would
+# distort.
+go test -race -short ./internal/cluster/ ./internal/parallel/
