@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire fuzz-smoke
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -33,6 +33,14 @@ bench-perf:
 
 # bench-wire runs the cluster wire-path benchmarks: codec
 # encode/decode and the end-to-end submit/pull/complete/results cycle
-# across the json, binary, and inproc transports (see PERFORMANCE.md).
+# across the json, binary, tcp, and inproc transports (see
+# PERFORMANCE.md).
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/
+
+# fuzz-smoke runs each decoder fuzz target briefly on top of the
+# committed seed corpus (testdata/fuzz). CI runs this on every push;
+# raise -fuzztime for a deeper local hunt.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime=10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime=10s ./internal/cluster/

@@ -8,6 +8,7 @@
 //
 //	diffserve-client -lb http://localhost:8100 -trace trace_4to32qps.txt -timescale 0.1
 //	diffserve-client -lb http://localhost:8100 -min 4 -max 32 -duration 360 -codec binary
+//	diffserve-client -lb localhost:8100 -transport tcp -codec binary
 package main
 
 import (
@@ -27,7 +28,8 @@ import (
 
 func main() {
 	var (
-		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
+		transport = flag.String("transport", "http", "wire transport: http|tcp (raw framed TCP)")
 		traceFile = flag.String("trace", "", "trace file (empty: generate an Azure-like trace)")
 		cascadeN  = flag.String("cascade", "cascade1", "cascade (for query content + SLO)")
 		minQPS    = flag.Float64("min", 4, "generated trace minimum QPS")
@@ -70,11 +72,14 @@ func main() {
 	}
 
 	arrivals := tr.Arrivals(stats.NewRNG(*seed + 17).Stream("trace"))
-	fmt.Printf("diffserve-client: replaying %s (%d queries) at %gx speed, %s codec\n",
-		tr.Name(), len(arrivals), 1 / *timescale, codec.Name())
+	fmt.Printf("diffserve-client: replaying %s (%d queries) at %gx speed, %s transport, %s codec\n",
+		tr.Name(), len(arrivals), 1 / *timescale, *transport, codec.Name())
 
 	clock := cluster.NewClock(*timescale)
-	conn := cluster.NewHTTPLBConn(cluster.NewWireClient(0), *lbURL, codec)
+	conn, err := cluster.DialLB(*transport, *lbURL, codec)
+	if err != nil {
+		fatal(err)
+	}
 	col := metrics.NewCollector()
 	realFeats := make([][]float64, len(arrivals))
 	for i := range arrivals {

@@ -7,6 +7,10 @@
 //	diffserve-controller -lb http://localhost:8100 \
 //	    -workers http://localhost:50051,http://localhost:50052 \
 //	    -cascade cascade1 -timescale 0.1
+//
+// With -transport=tcp the controller dials the load balancer and the
+// workers over the raw framed-TCP protocol; -lb and -workers then
+// take host:port addresses.
 package main
 
 import (
@@ -25,8 +29,9 @@ import (
 
 func main() {
 	var (
-		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
-		workerCSV = flag.String("workers", "", "comma-separated worker base URLs")
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
+		workerCSV = flag.String("workers", "", "comma-separated worker base URLs (host:port with -transport tcp)")
+		transport = flag.String("transport", "http", "wire transport to LB and workers: http|tcp (raw framed TCP)")
 		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
 		slo       = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
@@ -67,14 +72,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	wire := cluster.NewWireClient(0)
+	lbConn, err := cluster.DialLB(*transport, *lbURL, codec)
+	if err != nil {
+		fatal(err)
+	}
 	workerConns := make([]cluster.WorkerConn, len(workerURLs))
 	for i, u := range workerURLs {
-		workerConns[i] = cluster.NewHTTPWorkerConn(wire, u, codec)
+		if workerConns[i], err = cluster.DialWorker(*transport, u, codec); err != nil {
+			fatal(err)
+		}
 	}
 	clock := cluster.NewClock(*timescale)
 	loop := cluster.NewControllerLoop(cluster.ControllerConfig{
-		Ctrl: ctrl, LB: cluster.NewHTTPLBConn(wire, *lbURL, codec), Workers: workerConns,
+		Ctrl: ctrl, LB: lbConn, Workers: workerConns,
 		Mode: loadbalancer.ModeCascade, Clock: clock,
 	})
 	fmt.Printf("diffserve-controller: %d workers, SLO %.1fs, interval %.1fs\n",

@@ -4,7 +4,12 @@
 // Workers pull batches from this process; the controller pushes
 // thresholds; clients POST /query and block until completion.
 //
+// With -transport=tcp the process serves the same API over the raw
+// framed-TCP protocol (persistent multiplexed connections) instead of
+// HTTP; every peer must then dial with -transport=tcp too.
+//
 //	diffserve-lb -port 8100 -cascade cascade1 -slo 5 -timescale 0.1
+//	diffserve-lb -port 8100 -transport tcp -codec binary
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
 		mode      = flag.String("mode", "cascade", "routing: cascade|all-light|all-heavy|random-split")
+		transport = flag.String("transport", "http", "wire transport: http|tcp (raw framed TCP)")
 		codecName = flag.String("codec", "json", "advertised wire codec: json|binary (the server answers each request in the codec it arrived in)")
 	)
 	flag.Parse()
@@ -57,10 +63,20 @@ func main() {
 		Clock:        clock, Seed: *seed,
 	})
 	addr := fmt.Sprintf(":%d", *port)
-	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s, %s codec)\n",
-		env.Spec.Name, addr, *cascadeN, deadline, *mode, codec.Name())
-	if err := http.ListenAndServe(addr, lb.Mux()); err != nil {
-		fatal(err)
+	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s, %s transport, %s codec)\n",
+		env.Spec.Name, addr, *cascadeN, deadline, *mode, *transport, codec.Name())
+	switch *transport {
+	case "", "http":
+		if err := http.ListenAndServe(addr, lb.Mux()); err != nil {
+			fatal(err)
+		}
+	case cluster.TransportTCP:
+		if _, err := cluster.ServeLBTCP(addr, lb); err != nil {
+			fatal(err)
+		}
+		select {} // serve until the process is killed
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (have http, tcp)", *transport))
 	}
 }
 

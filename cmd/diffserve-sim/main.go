@@ -32,7 +32,7 @@ func main() {
 		slo        = flag.Float64("slo", 0, "SLO override in seconds (0 = cascade default)")
 		minQPS     = flag.Float64("min-qps", 4, "trace minimum rate for -serve")
 		maxQPS     = flag.Float64("max-qps", 32, "trace maximum rate for -serve")
-		transport  = flag.String("transport", "json", "cluster transport for sim-vs-cluster: json|binary|inproc")
+		transport  = flag.String("transport", "json", "cluster transport for sim-vs-cluster: json|binary|inproc|tcp")
 	)
 	flag.Parse()
 

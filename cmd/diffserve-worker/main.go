@@ -6,7 +6,12 @@
 // generated images and discriminator confidences. All processes must
 // share the same -seed so query content is regenerated consistently.
 //
+// With -transport=tcp the worker dials the load balancer over the raw
+// framed-TCP protocol (-lb takes a host:port) and serves its own
+// control plane over framed TCP as well.
+//
 //	diffserve-worker -port 50051 -id 0 -lb http://localhost:8100 -cascade cascade1
+//	diffserve-worker -port 50051 -id 0 -lb localhost:8100 -transport tcp -codec binary
 package main
 
 import (
@@ -24,11 +29,12 @@ func main() {
 	var (
 		port      = flag.Int("port", 50051, "listen port (control API)")
 		id        = flag.Int("id", 0, "worker ID")
-		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL")
+		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
 		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
 		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
 		fastLoad  = flag.Bool("fast-load", false, "skip model-switch load delays")
+		transport = flag.String("transport", "http", "wire transport to the LB and for the control API: http|tcp (raw framed TCP)")
 		codecName = flag.String("codec", "json", "wire codec to the LB: json|binary")
 	)
 	flag.Parse()
@@ -41,9 +47,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	lbConn, err := cluster.DialLB(*transport, *lbURL, codec)
+	if err != nil {
+		fatal(err)
+	}
 	clock := cluster.NewClock(*timescale)
 	ws := cluster.NewWorkerServer(cluster.WorkerConfig{
-		ID: *id, LB: cluster.NewHTTPLBConn(cluster.NewWireClient(0), *lbURL, codec),
+		ID: *id, LB: lbConn,
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy,
 		Scorer: env.Scorer, Clock: clock,
 		DisableLoadDelay: *fastLoad,
@@ -51,7 +61,13 @@ func main() {
 	go ws.Loop(context.Background())
 
 	addr := fmt.Sprintf(":%d", *port)
-	fmt.Printf("diffserve-worker %d: ready on %s (pulling from %s)\n", *id, addr, *lbURL)
+	fmt.Printf("diffserve-worker %d: ready on %s (%s transport, pulling from %s)\n", *id, addr, *transport, *lbURL)
+	if *transport == cluster.TransportTCP {
+		if _, err := cluster.ServeWorkerTCP(addr, ws); err != nil {
+			fatal(err)
+		}
+		select {} // serve until the process is killed
+	}
 	if err := http.ListenAndServe(addr, ws.Mux()); err != nil {
 		fatal(err)
 	}

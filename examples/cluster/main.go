@@ -1,7 +1,10 @@
-// Cluster example: run the full DiffServe system as real HTTP
-// processes — load balancer, eight workers, and the MILP controller —
-// wired over loopback, then replay a trace through the network data
-// path at 10x speed.
+// Cluster example: run the full DiffServe system as real networked
+// components — load balancer, eight workers, and the MILP controller
+// — wired over loopback sockets, then replay a trace through the
+// network data path at 10x speed. The example uses the raw framed-TCP
+// transport (persistent multiplexed connections, binary codec), the
+// fastest wire path; swap the Transport field for the HTTP or
+// in-process alternatives.
 //
 //	go run ./examples/cluster
 package main
@@ -50,17 +53,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("replaying %s through LB + %d workers + controller over HTTP with the binary codec (10x speed)...\n",
+	fmt.Printf("replaying %s through LB + %d workers + controller over raw TCP with the binary codec (10x speed)...\n",
 		tr.Name(), workers)
 	res, err := cluster.Run(cluster.HarnessConfig{
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
 		Mode: loadbalancer.ModeCascade, Workers: workers, SLO: env.Spec.SLOSeconds,
 		Trace: tr, Ctrl: ctrl, Timescale: 0.1, Seed: 99,
 		DisableLoadDelay: true,
-		// Other transports: cluster.TransportJSON (the pre-codec wire
-		// format) and cluster.TransportInproc (zero-serialization
-		// direct dispatch for maximum replay speed).
-		Transport: cluster.TransportBinary,
+		// Other transports: cluster.TransportBinary (HTTP + binary
+		// codec), cluster.TransportJSON (the pre-codec wire format),
+		// and cluster.TransportInproc (zero-serialization direct
+		// dispatch for maximum replay speed).
+		Transport: cluster.TransportTCP,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -21,8 +21,8 @@ type ExperimentConfig struct {
 	// Short shrinks everything for quick runs.
 	Short bool
 	// ClusterTransport selects the cluster runtime's wire path for
-	// the sim-vs-cluster experiment: "json" (default), "binary", or
-	// "inproc".
+	// the sim-vs-cluster experiment: "json" (default), "binary",
+	// "tcp", or "inproc".
 	ClusterTransport string
 }
 

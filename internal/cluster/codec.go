@@ -95,56 +95,92 @@ type binaryCodec struct{}
 func (binaryCodec) Name() string        { return CodecNameBinary }
 func (binaryCodec) ContentType() string { return binaryContentType }
 
-func (binaryCodec) Marshal(v interface{}) ([]byte, error) {
+func (c binaryCodec) Marshal(v interface{}) ([]byte, error) {
+	return c.MarshalAppend(make([]byte, 0, binarySizeHint(v)), v)
+}
+
+// binarySizeHint presizes the encode buffer for a message so the
+// append chain rarely regrows it.
+func binarySizeHint(v interface{}) int {
+	switch m := v.(type) {
+	case *QueryResponse:
+		return 64 + 8*len(m.Features)
+	case QueryResponse:
+		return 64 + 8*len(m.Features)
+	case *PullResponse:
+		return 8 + 24*len(m.Queries)
+	case PullResponse:
+		return 8 + 24*len(m.Queries)
+	case *CompleteRequest:
+		return 16 + 192*len(m.Items)
+	case CompleteRequest:
+		return 16 + 192*len(m.Items)
+	case *SubmitRequest:
+		return 8 + 24*len(m.Queries)
+	case SubmitRequest:
+		return 8 + 24*len(m.Queries)
+	case *ResultsResponse:
+		return 8 + 96*len(m.Results)
+	case ResultsResponse:
+		return 8 + 96*len(m.Results)
+	default:
+		return 64
+	}
+}
+
+// MarshalAppend appends v's binary encoding to b and returns the
+// extended slice. The framed TCP transport uses it to encode payloads
+// directly into a pooled frame buffer, with no intermediate copy.
+func (binaryCodec) MarshalAppend(b []byte, v interface{}) ([]byte, error) {
 	switch m := v.(type) {
 	case *QueryMsg:
-		return appendQueryMsg(make([]byte, 0, 24), m), nil
+		return appendQueryMsg(b, m), nil
 	case QueryMsg:
-		return appendQueryMsg(make([]byte, 0, 24), &m), nil
+		return appendQueryMsg(b, &m), nil
 	case *QueryResponse:
-		return appendQueryResponse(make([]byte, 0, 64+8*len(m.Features)), m), nil
+		return appendQueryResponse(b, m), nil
 	case QueryResponse:
-		return appendQueryResponse(make([]byte, 0, 64+8*len(m.Features)), &m), nil
+		return appendQueryResponse(b, &m), nil
 	case *PullRequest:
-		return appendPullRequest(make([]byte, 0, 32), m), nil
+		return appendPullRequest(b, m), nil
 	case PullRequest:
-		return appendPullRequest(make([]byte, 0, 32), &m), nil
+		return appendPullRequest(b, &m), nil
 	case *PullResponse:
-		return appendPullResponse(make([]byte, 0, 8+24*len(m.Queries)), m), nil
+		return appendPullResponse(b, m), nil
 	case PullResponse:
-		return appendPullResponse(make([]byte, 0, 8+24*len(m.Queries)), &m), nil
+		return appendPullResponse(b, &m), nil
 	case *CompleteRequest:
-		return appendCompleteRequest(make([]byte, 0, 16+192*len(m.Items)), m), nil
+		return appendCompleteRequest(b, m), nil
 	case CompleteRequest:
-		return appendCompleteRequest(make([]byte, 0, 16+192*len(m.Items)), &m), nil
+		return appendCompleteRequest(b, &m), nil
 	case *ConfigureWorkerRequest:
-		return appendConfigureWorker(make([]byte, 0, 16), m), nil
+		return appendConfigureWorker(b, m), nil
 	case ConfigureWorkerRequest:
-		return appendConfigureWorker(make([]byte, 0, 16), &m), nil
+		return appendConfigureWorker(b, &m), nil
 	case *ConfigureLBRequest:
-		return appendConfigureLB(make([]byte, 0, 24), m), nil
+		return appendConfigureLB(b, m), nil
 	case ConfigureLBRequest:
-		return appendConfigureLB(make([]byte, 0, 24), &m), nil
+		return appendConfigureLB(b, &m), nil
 	case *WorkerStats:
-		return appendWorkerStats(make([]byte, 0, 32), m), nil
+		return appendWorkerStats(b, m), nil
 	case WorkerStats:
-		return appendWorkerStats(make([]byte, 0, 32), &m), nil
+		return appendWorkerStats(b, &m), nil
 	case *LBStats:
-		return appendLBStats(make([]byte, 0, 64), m), nil
+		return appendLBStats(b, m), nil
 	case LBStats:
-		return appendLBStats(make([]byte, 0, 64), &m), nil
+		return appendLBStats(b, &m), nil
 	case *SubmitRequest:
-		return appendSubmitRequest(make([]byte, 0, 8+24*len(m.Queries)), m), nil
+		return appendSubmitRequest(b, m), nil
 	case SubmitRequest:
-		return appendSubmitRequest(make([]byte, 0, 8+24*len(m.Queries)), &m), nil
+		return appendSubmitRequest(b, &m), nil
 	case *ResultsRequest:
-		return appendResultsRequest(make([]byte, 0, 16), m), nil
+		return appendResultsRequest(b, m), nil
 	case ResultsRequest:
-		return appendResultsRequest(make([]byte, 0, 16), &m), nil
+		return appendResultsRequest(b, &m), nil
 	case *ResultsResponse:
-		return appendResultsResponse(make([]byte, 0, 8+96*len(m.Results)), m), nil
+		return appendResultsResponse(b, m), nil
 	case ResultsResponse:
-		return appendResultsResponse(make([]byte, 0, 8+96*len(m.Results)), &m), nil
+		return appendResultsResponse(b, &m), nil
 	}
 	return nil, fmt.Errorf("cluster: binary codec cannot marshal %T", v)
 }

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transportCase is one transport × codec combination under
+// conformance test.
+type transportCase struct {
+	name string
+	mk   func() Transport
+	// failsAfterClose: conn calls made after Transport.Close must
+	// return an error (networked transports). The in-process
+	// transport has nothing to tear down, so calls keep succeeding.
+	failsAfterClose bool
+}
+
+// transportMatrix enumerates every transport × codec combination the
+// package ships: in-process, HTTP with both codecs, and raw TCP with
+// both codecs.
+func transportMatrix() []transportCase {
+	mkNamed := func(name string) func() Transport {
+		return func() Transport {
+			tp, err := NewTransport(name)
+			if err != nil {
+				panic(err)
+			}
+			return tp
+		}
+	}
+	return []transportCase{
+		{name: "inproc", mk: mkNamed(TransportInproc), failsAfterClose: false},
+		{name: "http-json", mk: mkNamed(TransportJSON), failsAfterClose: true},
+		{name: "http-binary", mk: mkNamed(TransportBinary), failsAfterClose: true},
+		{name: "tcp-json", mk: func() Transport { return newTCPTransport(CodecJSON) }, failsAfterClose: true},
+		{name: "tcp-binary", mk: mkNamed(TransportTCP), failsAfterClose: true},
+	}
+}
+
+// TestTransportConformance runs the shared behavioral suite over
+// every transport × codec combination.
+func TestTransportConformance(t *testing.T) {
+	for _, tc := range transportMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			testTransportConformance(t, tc)
+		})
+	}
+}
+
+// testTransportConformance asserts the behavior every Transport must
+// provide: full data-path round trips with field-exact payloads,
+// worker control-plane round trips, batched submit + long-poll
+// results, long-poll blocking and deadline semantics, prompt
+// unblocking of long polls caught mid-shutdown, and well-defined
+// behavior for calls after Close.
+func testTransportConformance(t *testing.T, tc transportCase) {
+	t.Run("query-roundtrip", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		conn := serveTestLB(t, tp, newTestLB(0.001))
+
+		respCh := make(chan QueryResponse, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			resp, err := conn.Submit(context.Background(), QueryMsg{ID: 7, Arrival: 0.001})
+			errCh <- err
+			respCh <- resp
+		}()
+		pulled, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 20})
+		if err != nil || len(pulled.Queries) != 1 {
+			t.Fatalf("pull = %+v, %v", pulled, err)
+		}
+		if pulled.Queries[0].ID != 7 || pulled.Queries[0].Arrival != 0.001 {
+			t.Fatalf("pulled query = %+v", pulled.Queries[0])
+		}
+		err = conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: []CompleteItem{{
+			ID: 7, Arrival: 0.001, Variant: "sdturbo",
+			Features: []float64{1, 2}, Artifact: 0.5, Confidence: 0.9,
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		resp := <-respCh
+		if resp.ID != 7 || resp.Dropped || resp.Variant != "sdturbo" ||
+			len(resp.Features) != 2 || resp.Features[0] != 1 || resp.Features[1] != 2 ||
+			resp.Artifact != 0.5 || resp.Confidence != 0.9 {
+			t.Errorf("response = %+v", resp)
+		}
+
+		if err := conn.Configure(context.Background(), ConfigureLBRequest{Threshold: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := conn.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Completed != 1 || stats.Dropped != 0 {
+			t.Errorf("stats = %+v", stats)
+		}
+	})
+
+	t.Run("worker-conn", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		ws := NewWorkerServer(WorkerConfig{ID: 4, Clock: NewClock(0.001), DisableLoadDelay: true})
+		conn, err := tp.ServeWorker(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Configure(context.Background(), ConfigureWorkerRequest{Role: "heavy", Batch: 6}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := conn.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ID != 4 || st.Role != "heavy" || st.Batch != 6 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+
+	t.Run("batch-results", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		conn := serveTestLB(t, tp, newTestLB(0.001))
+
+		err := conn.SubmitBatch(context.Background(), SubmitRequest{Queries: []QueryMsg{
+			{ID: 1, Arrival: 0.001}, {ID: 2, Arrival: 0.001},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pulled, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 2, Wait: 5})
+		if err != nil || len(pulled.Queries) != 2 {
+			t.Fatalf("pull = %+v, %v", pulled, err)
+		}
+		items := make([]CompleteItem, len(pulled.Queries))
+		for i, q := range pulled.Queries {
+			items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "sdturbo", Confidence: 0.9}
+		}
+		if err := conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: items}); err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]bool{}
+		for len(got) < 2 {
+			resp, err := conn.PollResults(context.Background(), ResultsRequest{Max: 10, Wait: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) == 0 {
+				t.Fatal("PollResults returned empty before all results arrived")
+			}
+			for _, r := range resp.Results {
+				if r.Dropped || r.Variant != "sdturbo" {
+					t.Errorf("result %+v", r)
+				}
+				got[r.ID] = true
+			}
+		}
+		if !got[1] || !got[2] {
+			t.Errorf("missing results: %v", got)
+		}
+	})
+
+	t.Run("pull-longpoll-blocks-until-work", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		lb := newTestLB(0.01)
+		conn := serveTestLB(t, tp, lb)
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			lb.SubmitBatch([]QueryMsg{{ID: 11, Arrival: 0.001}})
+		}()
+		start := time.Now()
+		// Wait 10 trace seconds = 100ms wall; work arrives at ~30ms.
+		resp, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 10})
+		if err != nil || len(resp.Queries) != 1 || resp.Queries[0].ID != 11 {
+			t.Fatalf("long poll returned %+v, %v", resp.Queries, err)
+		}
+		if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
+			t.Errorf("long poll returned after %v, want ~30ms", wall)
+		}
+		lb.DrainRemaining()
+	})
+
+	t.Run("pull-longpoll-honors-deadline", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		conn := serveTestLB(t, tp, newTestLB(0.01))
+		start := time.Now()
+		resp, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 3})
+		if err != nil || len(resp.Queries) != 0 {
+			t.Fatalf("empty queue long poll returned %+v, %v", resp.Queries, err)
+		}
+		// 3 trace seconds at 0.01 = 30ms wall.
+		if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
+			t.Errorf("long poll deadline after %v, want ~30ms", wall)
+		}
+	})
+
+	t.Run("shutdown-while-longpolling", func(t *testing.T) {
+		tp := tc.mk()
+		conn := serveTestLB(t, tp, newTestLB(0.01))
+
+		var wg sync.WaitGroup
+		returned := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// 120 trace seconds = 1.2s of wall time at this timescale;
+			// a shutdown-aware transport unblocks the poll sooner, and
+			// none may hang past the poll's own deadline.
+			resp, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 120})
+			if err == nil && len(resp.Queries) != 0 {
+				t.Errorf("shutdown long poll returned work: %+v", resp.Queries)
+			}
+			close(returned)
+		}()
+		time.Sleep(50 * time.Millisecond) // let the poll reach the server
+		tp.Close()
+		select {
+		case <-returned:
+		case <-time.After(10 * time.Second):
+			t.Fatal("long poll still blocked 10s after transport close")
+		}
+		wg.Wait()
+	})
+
+	t.Run("submit-after-close", func(t *testing.T) {
+		tp := tc.mk()
+		conn := serveTestLB(t, tp, newTestLB(0.001))
+		tp.Close()
+
+		done := make(chan error, 1)
+		go func() {
+			done <- conn.SubmitBatch(context.Background(), SubmitRequest{Queries: []QueryMsg{{ID: 1, Arrival: 0.001}}})
+		}()
+		select {
+		case err := <-done:
+			if tc.failsAfterClose && err == nil {
+				t.Error("submit after close succeeded on a networked transport")
+			}
+			if !tc.failsAfterClose && err != nil {
+				t.Errorf("submit after close failed on the in-process transport: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("submit after close hung")
+		}
+		if _, err := conn.Stats(context.Background()); tc.failsAfterClose && err == nil {
+			t.Error("stats after close succeeded on a networked transport")
+		}
+	})
+}
+
+// serveTestLB registers lb on the transport and fails the test on
+// error.
+func serveTestLB(t *testing.T, tp Transport, lb *LBServer) LBConn {
+	t.Helper()
+	conn, err := tp.ServeLB(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}

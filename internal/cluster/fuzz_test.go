@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+
+	"testing"
+)
+
+// fuzzTargets enumerates the binary codec's message types as fresh
+// zero-value constructors.
+func fuzzTargets() []func() interface{} {
+	return []func() interface{}{
+		func() interface{} { return new(QueryMsg) },
+		func() interface{} { return new(QueryResponse) },
+		func() interface{} { return new(PullRequest) },
+		func() interface{} { return new(PullResponse) },
+		func() interface{} { return new(CompleteRequest) },
+		func() interface{} { return new(ConfigureWorkerRequest) },
+		func() interface{} { return new(ConfigureLBRequest) },
+		func() interface{} { return new(WorkerStats) },
+		func() interface{} { return new(LBStats) },
+		func() interface{} { return new(SubmitRequest) },
+		func() interface{} { return new(ResultsRequest) },
+		func() interface{} { return new(ResultsResponse) },
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to the binary codec's
+// decoder for every message type. Raw network bytes reach this
+// decoder on the TCP transport, so arbitrary input must produce a
+// clean error — never a panic or a huge allocation — and anything
+// that does decode must survive a re-encode/re-decode round trip
+// unchanged.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seed with one valid encoding per message type, plus hostile
+	// length prefixes.
+	seeds := []interface{}{
+		&QueryMsg{ID: 7, Arrival: 12.5},
+		&QueryResponse{ID: 9, Variant: "sdturbo", Features: []float64{1, 2}, Confidence: 0.875, Deferred: true},
+		&PullRequest{WorkerID: 3, Role: "light", Max: 8, Wait: 0.25},
+		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}},
+		&CompleteRequest{WorkerID: 1, Role: "heavy", Items: []CompleteItem{{ID: 4, Variant: "sdv15", Features: []float64{3}}}},
+		&ConfigureWorkerRequest{Role: "light", Batch: 8},
+		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25},
+		&WorkerStats{ID: 2, Role: "heavy", Batch: 4, Busy: true, Batches: 10, Queries: 40},
+		&LBStats{Now: 100, LightQueueLen: 3, Completed: 50},
+		&SubmitRequest{Queries: []QueryMsg{{ID: 5, Arrival: 1}}},
+		&ResultsRequest{Max: 64, Wait: 2},
+		&ResultsResponse{Results: []QueryResponse{{ID: 6, Variant: "sdturbo"}}},
+	}
+	for _, msg := range seeds {
+		data, err := CodecBinary.Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// A declared element count of ~2^60: the decoder must reject it
+	// by bounds-checking against the remaining bytes, not allocate.
+	hostile := []byte{tagSubmitRequest}
+	hostile = binary.AppendUvarint(hostile, 1<<60)
+	f.Add(hostile)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range fuzzTargets() {
+			v := mk()
+			if err := CodecBinary.Unmarshal(data, v); err != nil {
+				continue // rejected cleanly
+			}
+			out, err := CodecBinary.Marshal(v)
+			if err != nil {
+				t.Fatalf("decoded %T does not re-encode: %v", v, err)
+			}
+			v2 := mk()
+			if err := CodecBinary.Unmarshal(out, v2); err != nil {
+				t.Fatalf("re-encoded %T does not decode: %v", v, err)
+			}
+			// Compare the re-encodings, not the structs: NaN payloads
+			// round-trip bit-faithfully but defeat reflect.DeepEqual.
+			out2, err := CodecBinary.Marshal(v2)
+			if err != nil {
+				t.Fatalf("second encode of %T failed: %v", v, err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatalf("round trip diverged for %T:\n  first:  %x (%+v)\n  second: %x (%+v)", v, out, v, out2, v2)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrame feeds arbitrary byte streams to the TCP frame
+// reader. Invalid frames must error without panicking, and a lying
+// length prefix must not force an allocation beyond the bytes that
+// actually arrived (the declared length is capped and the buffer
+// grows incrementally).
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid frames in both codecs, a frame followed by garbage, and
+	// hostile length prefixes.
+	mkFrame := func(kind, method, cID byte, id uint64, codec Codec, msg interface{}, errText string) []byte {
+		b, err := appendFrame(nil, kind, method, cID, id, codec, msg, errText)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := mkFrame(frameRequest, methodPull, codecIDBinary, 1, CodecBinary, &PullRequest{Role: "light", Max: 4}, "")
+	f.Add(valid)
+	f.Add(mkFrame(frameRequest, methodSubmit, codecIDJSON, 2, CodecJSON, &SubmitRequest{Queries: []QueryMsg{{ID: 1}}}, ""))
+	f.Add(mkFrame(frameResponse, methodLBStats, codecIDBinary, 3, CodecBinary, &LBStats{Completed: 5}, ""))
+	f.Add(mkFrame(frameError, methodComplete, codecIDBinary, 4, CodecBinary, nil, "boom"))
+	f.Add(append(append([]byte(nil), valid...), 0xde, 0xad, 0xbe, 0xef))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 1, 1}) // 4 GiB declared length
+	f.Add([]byte{0, 0, 0, 0})                      // body shorter than header
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, maxFrameBody+1)
+	f.Add(oversize)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for frames := 0; frames < 16; frames++ {
+			fr, nbuf, err := readFrame(br, buf[:0])
+			buf = nbuf
+			// The body buffer may only ever hold bytes that actually
+			// arrived (plus append's geometric growth slack): a lying
+			// length prefix must not translate into an allocation.
+			if cap(buf) > 2*len(data)+frameReadChunk {
+				t.Fatalf("frame buffer grew to %dB for %dB of input", cap(buf), len(data))
+			}
+			if err != nil {
+				return
+			}
+			if fr.kind < frameRequest || fr.kind > frameError {
+				t.Fatalf("invalid kind %d passed validation", fr.kind)
+			}
+			if len(fr.payload) > maxFrameBody {
+				t.Fatalf("payload %dB exceeds the frame cap", len(fr.payload))
+			}
+		}
+	})
+}

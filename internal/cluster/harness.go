@@ -42,10 +42,15 @@ type HarnessConfig struct {
 	// QueryIDBase offsets query IDs.
 	QueryIDBase int
 	// Transport selects how components are wired: "json" (HTTP +
-	// JSON codec, the default), "binary" (HTTP + binary codec), or
-	// "inproc" (direct calls, zero serialization — the fastest path
-	// for high timescale factors).
+	// JSON codec, the default), "binary" (HTTP + binary codec),
+	// "tcp" (raw framed TCP + binary codec), or "inproc" (direct
+	// calls, zero serialization — the fastest path for high timescale
+	// factors).
 	Transport string
+	// TransportImpl overrides Transport with a pre-built transport.
+	// The harness still owns and closes it. Tests use it to inject
+	// failures mid-run.
+	TransportImpl Transport
 }
 
 func (c *HarnessConfig) validate() error {
@@ -89,9 +94,12 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if cfg.Timescale <= 0 {
 		cfg.Timescale = 0.02
 	}
-	tp, err := NewTransport(cfg.Transport)
-	if err != nil {
-		return nil, err
+	tp := cfg.TransportImpl
+	if tp == nil {
+		var err error
+		if tp, err = NewTransport(cfg.Transport); err != nil {
+			return nil, err
+		}
 	}
 	defer tp.Close()
 
@@ -116,6 +124,23 @@ func Run(cfg HarnessConfig) (*Result, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Watch for fatal transport failures (a TCP peer gone for good,
+	// dial retries exhausted): abort the run and surface the error
+	// instead of silently dropping the submitted queries.
+	tpFailed := make(chan error, 1)
+	if ch := tp.Errors(); ch != nil {
+		go func() {
+			select {
+			case terr, ok := <-ch:
+				if ok && terr != nil {
+					tpFailed <- terr
+					cancel()
+				}
+			case <-ctx.Done():
+			}
+		}()
+	}
 
 	var scorer discriminator.Scorer
 	if cfg.Mode == loadbalancer.ModeCascade {
@@ -207,21 +232,35 @@ func Run(cfg HarnessConfig) (*Result, error) {
 
 	// Wait for every query to resolve, plus a drain grace; then shed
 	// leftovers and, as a last resort, give up after a second grace
-	// (a lost submit batch can leave the collector short).
+	// (a lost submit batch can leave the collector short). A fatal
+	// transport failure aborts the wait immediately.
+	var transportErr error
 	grace := 3*cfg.SLO + cfg.Heavy.Latency.Latency(cfg.Heavy.Latency.MaxBatch())
 	horizon := cfg.Trace.Duration() + grace
 	select {
 	case <-done:
+	case transportErr = <-tpFailed:
 	case <-time.After(clock.WallDuration(horizon)):
 		lb.DrainRemaining()
 		select {
 		case <-done:
+		case transportErr = <-tpFailed:
 		case <-time.After(clock.WallDuration(grace) + 2*time.Second):
 		}
 	}
 	lb.DrainRemaining()
 	cancel()
 	collected.Wait()
+	if transportErr == nil {
+		// The failure may have raced with normal completion.
+		select {
+		case transportErr = <-tpFailed:
+		default:
+		}
+	}
+	if transportErr != nil {
+		return nil, fmt.Errorf("cluster: %s transport failed mid-run: %w", tp.Name(), transportErr)
+	}
 
 	ref, err := fid.NewReference(realFeats)
 	if err != nil {

@@ -37,33 +37,80 @@ type LBConfig struct {
 	CoalesceWait float64
 }
 
+// lbPool is one pool's share of the data path: its FIFO, its long-poll
+// wakeup channel, and the lock that guards both. Sharding the state
+// per pool keeps light pulls, heavy pulls, and submissions to
+// different pools off each other's locks; the pool locks are leaves —
+// no other LBServer lock is ever taken while one is held.
+type lbPool struct {
+	mu      sync.Mutex
+	q       *queueing.FIFO
+	wake    chan struct{}
+	minExec float64
+	// draining is set by DrainRemaining under mu: once the end-of-run
+	// sweep has emptied the queue, late pushes (a deferral or submit
+	// racing the drain) are refused so the caller drops them instead
+	// of stranding them in a queue nobody will pull again.
+	draining bool
+}
+
+// push enqueues items and wakes blocked pulls. It reports false —
+// enqueueing nothing — once the pool has been drained for shutdown.
+func (p *lbPool) push(now float64, items ...queueing.Item) bool {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return false
+	}
+	for _, it := range items {
+		p.q.Push(now, it)
+	}
+	signal(&p.wake)
+	p.mu.Unlock()
+	return true
+}
+
 // LBServer is the data-path entry point: it queues queries per pool,
 // hands batches to pulling workers (blocking long polls when asked),
 // applies the cascade threshold to completed light generations, and
 // resolves client waiters. Its core methods (Submit, SubmitBatch,
 // PollResults, Pull, Complete, Configure, Stats) are
-// transport-agnostic; Mux wraps them in codec-aware HTTP handlers and
-// NewLocalLBConn dispatches to them directly.
+// transport-agnostic; Mux wraps them in codec-aware HTTP handlers,
+// ServeLBTCP in framed-TCP handlers, and NewLocalLBConn dispatches to
+// them directly.
+//
+// Locking is sharded so the hot paths do not contend on one mutex:
+// each pool queue has its own lock (light pulls never wait on heavy
+// pulls or on submissions routed to the other pool), the
+// client-result state (waiters, async results, metrics, counters) is
+// guarded by resMu, and the random-split routing state by splitMu.
 type LBServer struct {
 	cfg LBConfig
 
-	mu        sync.Mutex
-	lb        *loadbalancer.LB
+	// pools is indexed by loadbalancer.PoolID (PoolLight, PoolHeavy).
+	pools [2]lbPool
+
+	// splitMu guards the random-split routing state (Proteus mode).
+	splitMu   sync.Mutex
+	splitProb float64
+	rng       *stats.RNG
+
+	// resMu guards everything on the client-result side: waiters,
+	// async-result buffering, the metrics collector, the control-plane
+	// counters, and the cascade threshold.
+	resMu     sync.Mutex
 	threshold float64
 	waiters   map[int]chan QueryResponse
 	async     map[int]struct{} // batch-submitted queries awaiting results
 	results   []QueryResponse  // finished async results not yet fetched
-	arrived   map[int]float64  // query ID -> arrival (trace time)
 	col       *metrics.Collector
 	arrivals  int // since last stats poll
 	timeouts  int // since last stats poll
 	completed int
 	dropped   int
-	// Long-poll wakeups: closed-and-replaced broadcast channels, one
-	// for queued work (worker pulls) and one for finished results
-	// (client polls). resultsDirty batches the results wakeup: a
-	// whole Complete batch signals once, not once per query.
-	wakeWork     chan struct{}
+	// Result long-poll wakeup: a closed-and-replaced broadcast
+	// channel. resultsDirty batches the wakeup: a whole Complete batch
+	// signals once, not once per query.
 	wakeResults  chan struct{}
 	resultsDirty bool
 }
@@ -79,23 +126,48 @@ func NewLBServer(cfg LBConfig) *LBServer {
 			cfg.CoalesceWait = 0.5
 		}
 	}
-	return &LBServer{
+	s := &LBServer{
 		cfg:         cfg,
-		lb:          loadbalancer.New(cfg.Mode, cfg.QueueWindow, stats.NewRNG(cfg.Seed)),
+		rng:         stats.NewRNG(cfg.Seed).Stream("lb"),
 		waiters:     make(map[int]chan QueryResponse),
 		async:       make(map[int]struct{}),
-		arrived:     make(map[int]float64),
 		col:         metrics.NewCollector(),
-		wakeWork:    make(chan struct{}),
 		wakeResults: make(chan struct{}),
 	}
+	s.pools[loadbalancer.PoolLight] = lbPool{
+		q: queueing.NewFIFO(cfg.QueueWindow), wake: make(chan struct{}), minExec: cfg.LightMinExec,
+	}
+	s.pools[loadbalancer.PoolHeavy] = lbPool{
+		q: queueing.NewFIFO(cfg.QueueWindow), wake: make(chan struct{}), minExec: cfg.HeavyMinExec,
+	}
+	return s
 }
 
 // Collector exposes the LB's metrics records (read after the run).
 func (s *LBServer) Collector() *metrics.Collector { return s.col }
 
+// pool maps a worker role to its pool shard.
+func (s *LBServer) pool(role string) *lbPool {
+	if role == "heavy" {
+		return &s.pools[loadbalancer.PoolHeavy]
+	}
+	return &s.pools[loadbalancer.PoolLight]
+}
+
+// routePool picks the pool an arrival joins. The decision itself is
+// loadbalancer.Decide — the same policy the simulator runs — with the
+// split state locked only in the one mode that uses it.
+func (s *LBServer) routePool() loadbalancer.PoolID {
+	if s.cfg.Mode != loadbalancer.ModeRandomSplit {
+		return loadbalancer.Decide(s.cfg.Mode, 0, nil)
+	}
+	s.splitMu.Lock()
+	defer s.splitMu.Unlock()
+	return loadbalancer.Decide(s.cfg.Mode, s.splitProb, s.rng)
+}
+
 // signal wakes every goroutine blocked on *ch and re-arms it. Callers
-// must hold s.mu.
+// must hold the lock guarding *ch.
 func signal(ch *chan struct{}) {
 	close(*ch)
 	*ch = make(chan struct{})
@@ -128,21 +200,24 @@ func (s *LBServer) Submit(ctx context.Context, q QueryMsg) (resp QueryResponse, 
 	}
 	ch := make(chan QueryResponse, 1)
 
-	s.mu.Lock()
+	// Register the waiter before the query becomes pullable, so a
+	// worker on another core cannot complete it first.
+	s.resMu.Lock()
 	s.waiters[q.ID] = ch
-	s.arrived[q.ID] = q.Arrival
 	s.arrivals++
-	s.lb.Route(now, queueing.Item{ID: q.ID, Arrival: q.Arrival})
-	signal(&s.wakeWork)
-	s.mu.Unlock()
+	s.resMu.Unlock()
+
+	if !s.pools[s.routePool()].push(now, queueing.Item{ID: q.ID, Arrival: q.Arrival}) {
+		s.dropRejected([]queueing.Item{{ID: q.ID, Arrival: q.Arrival}})
+	}
 
 	select {
 	case resp = <-ch:
 		return resp, true
 	case <-ctx.Done():
-		s.mu.Lock()
+		s.resMu.Lock()
 		delete(s.waiters, q.ID)
-		s.mu.Unlock()
+		s.resMu.Unlock()
 		return QueryResponse{}, false
 	}
 }
@@ -154,18 +229,45 @@ func (s *LBServer) SubmitBatch(qs []QueryMsg) {
 		return
 	}
 	now := s.cfg.Clock.Now()
-	s.mu.Lock()
-	for _, q := range qs {
+	item := func(q QueryMsg) queueing.Item {
 		if q.Arrival == 0 {
 			q.Arrival = now
 		}
-		s.async[q.ID] = struct{}{}
-		s.arrived[q.ID] = q.Arrival
-		s.arrivals++
-		s.lb.Route(now, queueing.Item{ID: q.ID, Arrival: q.Arrival})
+		return queueing.Item{ID: q.ID, Arrival: q.Arrival}
 	}
-	signal(&s.wakeWork)
-	s.mu.Unlock()
+	s.resMu.Lock()
+	for _, q := range qs {
+		s.async[q.ID] = struct{}{}
+		s.arrivals++
+	}
+	s.resMu.Unlock()
+
+	if s.cfg.Mode != loadbalancer.ModeRandomSplit {
+		// Single-destination modes: push the whole batch under one
+		// pool lock with no per-query routing state or allocation.
+		p := &s.pools[s.routePool()]
+		p.mu.Lock()
+		if p.draining {
+			p.mu.Unlock()
+			items := make([]queueing.Item, len(qs))
+			for i, q := range qs {
+				items[i] = item(q)
+			}
+			s.dropRejected(items)
+			return
+		}
+		for _, q := range qs {
+			p.q.Push(now, item(q))
+		}
+		signal(&p.wake)
+		p.mu.Unlock()
+		return
+	}
+	for _, q := range qs {
+		if it := item(q); !s.pools[s.routePool()].push(now, it) {
+			s.dropRejected([]queueing.Item{it})
+		}
+	}
 }
 
 // PollResults returns finished async results, blocking up to req.Wait
@@ -180,7 +282,7 @@ func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsR
 		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	}
 	for {
-		s.mu.Lock()
+		s.resMu.Lock()
 		if n := len(s.results); n > 0 {
 			if n > max {
 				n = max
@@ -188,11 +290,11 @@ func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsR
 			out := make([]QueryResponse, n)
 			copy(out, s.results)
 			s.results = append(s.results[:0], s.results[n:]...)
-			s.mu.Unlock()
+			s.resMu.Unlock()
 			return ResultsResponse{Results: out}
 		}
 		wake := s.wakeResults
-		s.mu.Unlock()
+		s.resMu.Unlock()
 
 		remain := time.Until(deadline)
 		if req.Wait <= 0 || remain <= 0 {
@@ -251,26 +353,29 @@ func (s *LBServer) handleResults(w http.ResponseWriter, r *http.Request) {
 // Pull hands up to req.Max queued queries to a worker, shedding
 // queries that can no longer meet their deadline. With req.Wait > 0
 // it long-polls: the call blocks until a batch is dispatchable under
-// the coalescing policy or the wait expires.
+// the coalescing policy or the wait expires. Pulls only touch their
+// own pool's lock, so light and heavy dispatch proceed concurrently.
 func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
-	pool := loadbalancer.PoolLight
-	minExec := s.cfg.LightMinExec
-	if req.Role == "heavy" {
-		pool = loadbalancer.PoolHeavy
-		minExec = s.cfg.HeavyMinExec
-	}
+	p := s.pool(req.Role)
 	var deadline time.Time
 	if req.Wait > 0 {
 		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	}
 	for {
 		now := s.cfg.Clock.Now()
-		s.mu.Lock()
-		items, retry := s.dequeueLocked(pool, minExec, req.Max, now)
-		s.flushResultsLocked() // dequeueLocked may have shed (dropped) queries
-		wake := s.wakeWork
-		s.mu.Unlock()
+		p.mu.Lock()
+		shed, items, retry := s.dequeuePool(p, req.Max, now)
+		wake := p.wake
+		p.mu.Unlock()
 
+		if len(shed) > 0 {
+			s.resMu.Lock()
+			for _, it := range shed {
+				s.dropLocked(it.ID, it.Arrival)
+			}
+			s.flushResultsLocked()
+			s.resMu.Unlock()
+		}
 		if len(items) > 0 {
 			resp := PullResponse{Queries: make([]QueryMsg, len(items))}
 			for i, it := range items {
@@ -305,37 +410,35 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 	}
 }
 
-// dequeueLocked sheds expired queries, then dequeues a batch if one
-// is dispatchable under the coalescing policy. When the queue holds a
-// not-yet-dispatchable partial batch it returns the trace-seconds
-// until the head's coalesce window expires, so long polls can wake
-// exactly then.
-func (s *LBServer) dequeueLocked(pool loadbalancer.PoolID, minExec float64, max int, now float64) (items []queueing.Item, retry float64) {
-	q := s.lb.Queue(pool)
-	for _, it := range q.DropWhere(func(it queueing.Item) bool {
-		return now+minExec > it.Arrival+s.cfg.SLO
-	}) {
-		s.dropLocked(it.ID, it.Arrival)
-	}
+// dequeuePool sheds expired queries, then dequeues a batch if one is
+// dispatchable under the coalescing policy. Shed items are returned to
+// the caller for drop accounting outside the pool lock. When the
+// queue holds a not-yet-dispatchable partial batch it returns the
+// trace-seconds until the head's coalesce window expires, so long
+// polls can wake exactly then. Callers must hold p.mu.
+func (s *LBServer) dequeuePool(p *lbPool, max int, now float64) (shed, items []queueing.Item, retry float64) {
+	shed = p.q.DropWhere(func(it queueing.Item) bool {
+		return now+p.minExec > it.Arrival+s.cfg.SLO
+	})
 	// Batch coalescing: let the batch fill unless the head of the
 	// queue has already waited its share. Waiting longer than one
 	// batch-1 execution is never worthwhile, so the wait is capped
 	// per pool by its execution time.
 	wait := s.cfg.CoalesceWait
-	if minExec < wait {
-		wait = minExec
+	if p.minExec < wait {
+		wait = p.minExec
 	}
-	if q.Len() >= max {
-		return q.Pop(now, max), 0
+	if p.q.Len() >= max {
+		return shed, p.q.Pop(now, max), 0
 	}
-	if oldest, ok := q.PeekEnqueue(); ok {
+	if oldest, ok := p.q.PeekEnqueue(); ok {
 		if waited := now - oldest; waited >= wait {
-			return q.Pop(now, max), 0
+			return shed, p.q.Pop(now, max), 0
 		} else {
-			return nil, wait - waited
+			return shed, nil, wait - waited
 		}
 	}
-	return nil, 0
+	return shed, nil, 0
 }
 
 // handlePull serves worker pulls.
@@ -354,23 +457,37 @@ func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
 // thresholded (serve or defer); heavy-pool results always serve.
 func (s *LBServer) Complete(req CompleteRequest) {
 	now := s.cfg.Clock.Now()
+	cascadeLight := req.Role == "light" && s.cfg.Mode == loadbalancer.ModeCascade
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	deferred := false
+	var deferred []queueing.Item
+	s.resMu.Lock()
+	threshold := s.threshold
 	for _, item := range req.Items {
-		cascadeLight := req.Role == "light" && s.cfg.Mode == loadbalancer.ModeCascade
-		if cascadeLight && item.Confidence < s.threshold {
-			s.lb.Defer(now, queueing.Item{ID: item.ID, Arrival: item.Arrival})
-			deferred = true
+		if cascadeLight && item.Confidence < threshold {
+			deferred = append(deferred, queueing.Item{ID: item.ID, Arrival: item.Arrival})
 			continue
 		}
 		s.completeLocked(item, now, req.Role == "heavy")
 	}
 	s.flushResultsLocked()
-	if deferred {
-		signal(&s.wakeWork)
+	s.resMu.Unlock()
+
+	if len(deferred) > 0 && !s.pools[loadbalancer.PoolHeavy].push(now, deferred...) {
+		// The end-of-run drain already swept the heavy queue: these
+		// deferrals arrived too late to ever be pulled, so they
+		// resolve as drops instead of stranding their waiters.
+		s.dropRejected(deferred)
 	}
+}
+
+// dropRejected resolves queries a drained pool refused to enqueue.
+func (s *LBServer) dropRejected(items []queueing.Item) {
+	s.resMu.Lock()
+	for _, it := range items {
+		s.dropLocked(it.ID, it.Arrival)
+	}
+	s.flushResultsLocked()
+	s.resMu.Unlock()
 }
 
 // handleComplete serves completion reports.
@@ -384,7 +501,8 @@ func (s *LBServer) handleComplete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
-// completeLocked resolves a waiter and records the outcome.
+// completeLocked resolves a waiter and records the outcome. Callers
+// must hold resMu.
 func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool) {
 	rec := metrics.QueryRecord{
 		ID:         item.ID,
@@ -410,7 +528,7 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 	s.resolveLocked(item.ID, resp)
 }
 
-// dropLocked sheds a query.
+// dropLocked sheds a query. Callers must hold resMu.
 func (s *LBServer) dropLocked(id int, arrival float64) {
 	s.col.Record(metrics.QueryRecord{
 		ID: id, Arrival: arrival, Deadline: arrival + s.cfg.SLO, Dropped: true,
@@ -422,7 +540,7 @@ func (s *LBServer) dropLocked(id int, arrival float64) {
 
 // resolveLocked delivers a query's final outcome to whichever side is
 // waiting for it: a blocking Submit waiter, or the async results
-// buffer drained by PollResults.
+// buffer drained by PollResults. Callers must hold resMu.
 func (s *LBServer) resolveLocked(id int, resp QueryResponse) {
 	if ch, ok := s.waiters[id]; ok {
 		ch <- resp
@@ -433,11 +551,10 @@ func (s *LBServer) resolveLocked(id int, resp QueryResponse) {
 		delete(s.async, id)
 		s.resultsDirty = true
 	}
-	delete(s.arrived, id)
 }
 
 // flushResultsLocked wakes result pollers once for however many
-// results the caller just resolved. Callers must hold s.mu.
+// results the caller just resolved. Callers must hold resMu.
 func (s *LBServer) flushResultsLocked() {
 	if s.resultsDirty {
 		signal(&s.wakeResults)
@@ -447,10 +564,13 @@ func (s *LBServer) flushResultsLocked() {
 
 // Configure updates threshold / split probability.
 func (s *LBServer) Configure(req ConfigureLBRequest) {
-	s.mu.Lock()
+	s.resMu.Lock()
 	s.threshold = req.Threshold
-	s.lb.SetSplit(req.SplitProb)
-	s.mu.Unlock()
+	s.resMu.Unlock()
+
+	s.splitMu.Lock()
+	s.splitProb = loadbalancer.ClampProb(req.SplitProb)
+	s.splitMu.Unlock()
 }
 
 // handleConfigure serves policy updates.
@@ -468,14 +588,21 @@ func (s *LBServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 // counters.
 func (s *LBServer) Stats() LBStats {
 	now := s.cfg.Clock.Now()
-	s.mu.Lock()
-	snap := s.lb.Snap(now)
+	snap := func(p *lbPool) queueing.Snapshot {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.q.Snap(now)
+	}
+	light := snap(&s.pools[loadbalancer.PoolLight])
+	heavy := snap(&s.pools[loadbalancer.PoolHeavy])
+
+	s.resMu.Lock()
 	out := LBStats{
 		Now:               now,
-		LightQueueLen:     snap.Light.Len,
-		HeavyQueueLen:     snap.Heavy.Len,
-		LightArrivalRate:  snap.Light.ArrivalRate,
-		HeavyArrivalRate:  snap.Heavy.ArrivalRate,
+		LightQueueLen:     light.Len,
+		HeavyQueueLen:     heavy.Len,
+		LightArrivalRate:  light.ArrivalRate,
+		HeavyArrivalRate:  heavy.ArrivalRate,
 		ArrivalsSinceTick: s.arrivals,
 		TimeoutsSinceTick: s.timeouts,
 		Completed:         s.completed,
@@ -483,7 +610,7 @@ func (s *LBServer) Stats() LBStats {
 	}
 	s.arrivals = 0
 	s.timeouts = 0
-	s.mu.Unlock()
+	s.resMu.Unlock()
 	return out
 }
 
@@ -494,18 +621,24 @@ func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeMsg(w, codecForContentType(r.Header.Get("Accept")), &out)
 }
 
-// DrainRemaining drops every still-queued query (end of run).
+// DrainRemaining drops every still-queued query (end of run) and
+// marks the pools as draining: pushes that lose the race with the
+// sweep — a deferral or submission in flight while the drain runs —
+// are refused and resolve as drops rather than stranding forever in
+// a queue no worker will pull again.
 func (s *LBServer) DrainRemaining() {
 	now := s.cfg.Clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, pool := range []loadbalancer.PoolID{loadbalancer.PoolLight, loadbalancer.PoolHeavy} {
-		q := s.lb.Queue(pool)
-		for _, it := range q.Pop(now, q.Len()) {
-			s.dropLocked(it.ID, it.Arrival)
+	for i := range s.pools {
+		p := &s.pools[i]
+		p.mu.Lock()
+		items := p.q.Pop(now, p.q.Len())
+		p.draining = true
+		p.mu.Unlock()
+		if len(items) == 0 {
+			continue
 		}
+		s.dropRejected(items)
 	}
-	s.flushResultsLocked()
 }
 
 // readMsg decodes an HTTP request body with the codec named by its

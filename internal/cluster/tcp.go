@@ -1,0 +1,929 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the raw-TCP framed transport: the same wire
+// messages and Codec seam as the HTTP transport, but over persistent
+// TCP connections with length-prefixed frames and multiplexed
+// request/response correlation instead of net/http request plumbing.
+//
+// Frame layout (both directions):
+//
+//	uint32 big-endian  body length (header + payload, ≤ maxFrameBody)
+//	byte               frame kind (request, response, error)
+//	byte               method (methodQuery … methodWorkerStats)
+//	byte               codec id (JSON or binary; responses echo it)
+//	uint64 big-endian  request id (responses echo it)
+//	payload            codec-encoded message, or UTF-8 error text
+//
+// A client writes request frames on one persistent connection and
+// correlates responses by id, so any number of in-flight calls —
+// including server-side-blocking long polls — share the connection.
+// The server dispatches each request frame to its own goroutine and
+// serializes response frames through a per-connection writer.
+
+const (
+	// frameHeaderLen is the fixed body header: kind + method + codec
+	// id + request id.
+	frameHeaderLen = 11
+	// maxFrameBody caps the declared body length. Decoders reject
+	// anything larger before allocating, so a corrupted or hostile
+	// length prefix cannot trigger a huge allocation.
+	maxFrameBody = 8 << 20
+	// frameReadChunk is the read granularity when the body buffer must
+	// grow: bytes are copied in at most this many at a time, so the
+	// buffer never runs more than one chunk (plus append's geometric
+	// slack) ahead of what actually arrived.
+	frameReadChunk = 4096
+)
+
+// Frame kinds.
+const (
+	frameRequest byte = iota + 1
+	frameResponse
+	frameError
+)
+
+// Methods multiplexed over one connection (the TCP analogue of the
+// HTTP mux paths).
+const (
+	methodQuery byte = iota + 1
+	methodSubmit
+	methodResults
+	methodPull
+	methodComplete
+	methodConfigureLB
+	methodLBStats
+	methodConfigureWorker
+	methodWorkerStats
+	methodMax = methodWorkerStats
+)
+
+// Codec ids on the wire.
+const (
+	codecIDJSON byte = iota + 1
+	codecIDBinary
+	codecIDMax = codecIDBinary
+)
+
+func codecByID(id byte) Codec {
+	if id == codecIDBinary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+func codecID(c Codec) byte {
+	if c != nil && c.Name() == CodecNameBinary {
+		return codecIDBinary
+	}
+	return codecIDJSON
+}
+
+// ErrTransportClosed is returned by calls on a closed TCP conn or
+// transport.
+var ErrTransportClosed = errors.New("cluster: transport closed")
+
+// marshalAppender is the optional codec fast path: encode straight
+// into the frame buffer instead of allocating an intermediate slice.
+type marshalAppender interface {
+	MarshalAppend(b []byte, v interface{}) ([]byte, error)
+}
+
+// framePool recycles frame buffers across reads and writes.
+var framePool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 4096); return &b }}
+
+// frame is a decoded frame header plus its payload (aliasing the read
+// buffer).
+type frame struct {
+	kind, method, codec byte
+	id                  uint64
+	payload             []byte
+}
+
+// readFrame reads one length-prefixed frame, reusing buf when it is
+// large enough. It returns the (possibly grown) buffer for the next
+// call. The body buffer grows only as bytes actually arrive, so a
+// lying length prefix wastes at most ~2x the received bytes.
+func readFrame(br *bufio.Reader, buf []byte) (frame, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		return frame{}, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(lenb[:]))
+	if n < frameHeaderLen {
+		return frame{}, buf, fmt.Errorf("cluster: tcp frame body %dB shorter than %dB header", n, frameHeaderLen)
+	}
+	if n > maxFrameBody {
+		return frame{}, buf, fmt.Errorf("cluster: tcp frame body %dB exceeds %dB cap", n, maxFrameBody)
+	}
+	if cap(buf) >= n {
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return frame{}, buf[:0], fmt.Errorf("cluster: tcp frame truncated: %w", err)
+		}
+	} else {
+		buf = buf[:0]
+		var chunk [frameReadChunk]byte
+		for len(buf) < n {
+			step := min(n-len(buf), len(chunk))
+			m, err := io.ReadFull(br, chunk[:step])
+			buf = append(buf, chunk[:m]...)
+			if err != nil {
+				return frame{}, buf, fmt.Errorf("cluster: tcp frame truncated: %w", err)
+			}
+		}
+	}
+	f := frame{
+		kind:    buf[0],
+		method:  buf[1],
+		codec:   buf[2],
+		id:      binary.BigEndian.Uint64(buf[3:frameHeaderLen]),
+		payload: buf[frameHeaderLen:n],
+	}
+	switch {
+	case f.kind < frameRequest || f.kind > frameError:
+		return frame{}, buf, fmt.Errorf("cluster: tcp frame kind %d invalid", f.kind)
+	case f.method < methodQuery || f.method > methodMax:
+		return frame{}, buf, fmt.Errorf("cluster: tcp frame method %d invalid", f.method)
+	case f.codec < codecIDJSON || f.codec > codecIDMax:
+		return frame{}, buf, fmt.Errorf("cluster: tcp frame codec %d invalid", f.codec)
+	}
+	return f, buf, nil
+}
+
+// appendFrame encodes a whole frame into b (which must be the empty
+// start of a frame buffer): length prefix, header, and either the
+// codec-encoded msg or the error text.
+func appendFrame(b []byte, kind, method, cID byte, id uint64, codec Codec, msg interface{}, errText string) ([]byte, error) {
+	b = append(b, 0, 0, 0, 0, kind, method, cID)
+	b = binary.BigEndian.AppendUint64(b, id)
+	switch {
+	case errText != "":
+		b = append(b, errText...)
+	case msg != nil:
+		var err error
+		if ma, ok := codec.(marshalAppender); ok {
+			b, err = ma.MarshalAppend(b, msg)
+		} else {
+			var data []byte
+			data, err = codec.Marshal(msg)
+			b = append(b, data...)
+		}
+		if err != nil {
+			return b, err
+		}
+	}
+	if len(b)-4 > maxFrameBody {
+		return b, fmt.Errorf("cluster: tcp frame body %dB exceeds %dB cap", len(b)-4, maxFrameBody)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// --- server ---
+
+// tcpService is the server side of the protocol: newRequest allocates
+// the message a method decodes into (nil for methods with no request
+// payload, ok=false for methods the service does not serve), and
+// serve runs the fully decoded request. Splitting decode from serve
+// lets the dispatcher recycle the frame buffer before serve blocks —
+// long polls hold requests open for seconds and must not pin pooled
+// buffers.
+type tcpService interface {
+	newRequest(method byte) (msg interface{}, ok bool)
+	serve(ctx context.Context, method byte, req interface{}) (interface{}, error)
+}
+
+// TCPServer serves a component's API over the framed TCP protocol.
+// Construct one with ServeLBTCP or ServeWorkerTCP.
+type TCPServer struct {
+	lis    net.Listener
+	svc    tcpService
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ServeLBTCP listens on addr (e.g. ":8100", or "127.0.0.1:0" for an
+// ephemeral loopback port) and serves the load balancer's full data
+// and control plane over framed TCP.
+func ServeLBTCP(addr string, s *LBServer) (*TCPServer, error) {
+	return newTCPServer(addr, lbService{s})
+}
+
+// ServeWorkerTCP listens on addr and serves a worker's control plane
+// over framed TCP.
+func ServeWorkerTCP(addr string, s *WorkerServer) (*TCPServer, error) {
+	return newTCPServer(addr, workerService{s})
+}
+
+// lbService adapts an LBServer to the framed-TCP protocol.
+type lbService struct{ s *LBServer }
+
+func (lbService) newRequest(method byte) (interface{}, bool) {
+	switch method {
+	case methodQuery:
+		return new(QueryMsg), true
+	case methodSubmit:
+		return new(SubmitRequest), true
+	case methodResults:
+		return new(ResultsRequest), true
+	case methodPull:
+		return new(PullRequest), true
+	case methodComplete:
+		return new(CompleteRequest), true
+	case methodConfigureLB:
+		return new(ConfigureLBRequest), true
+	case methodLBStats:
+		return nil, true
+	}
+	return nil, false
+}
+
+func (l lbService) serve(ctx context.Context, method byte, req interface{}) (interface{}, error) {
+	switch method {
+	case methodQuery:
+		resp, ok := l.s.Submit(ctx, *req.(*QueryMsg))
+		if !ok {
+			return nil, errors.New("query cancelled")
+		}
+		return &resp, nil
+	case methodSubmit:
+		l.s.SubmitBatch(req.(*SubmitRequest).Queries)
+		return nil, nil
+	case methodResults:
+		resp := l.s.PollResults(ctx, *req.(*ResultsRequest))
+		return &resp, nil
+	case methodPull:
+		resp := l.s.Pull(ctx, *req.(*PullRequest))
+		return &resp, nil
+	case methodComplete:
+		l.s.Complete(*req.(*CompleteRequest))
+		return nil, nil
+	case methodConfigureLB:
+		l.s.Configure(*req.(*ConfigureLBRequest))
+		return nil, nil
+	case methodLBStats:
+		out := l.s.Stats()
+		return &out, nil
+	}
+	return nil, fmt.Errorf("method %d not served by the load balancer", method)
+}
+
+// workerService adapts a WorkerServer's control plane to the
+// framed-TCP protocol.
+type workerService struct{ s *WorkerServer }
+
+func (workerService) newRequest(method byte) (interface{}, bool) {
+	switch method {
+	case methodConfigureWorker:
+		return new(ConfigureWorkerRequest), true
+	case methodWorkerStats:
+		return nil, true
+	}
+	return nil, false
+}
+
+func (w workerService) serve(ctx context.Context, method byte, req interface{}) (interface{}, error) {
+	switch method {
+	case methodConfigureWorker:
+		w.s.Configure(*req.(*ConfigureWorkerRequest))
+		return nil, nil
+	case methodWorkerStats:
+		out := w.s.Stats()
+		return &out, nil
+	}
+	return nil, fmt.Errorf("method %d not served by the worker", method)
+}
+
+func newTCPServer(addr string, svc tcpService) (*TCPServer, error) {
+	lis, err := net.Listen("tcp", tcpAddr(addr))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tcp listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &TCPServer{
+		lis: lis, svc: svc, ctx: ctx, cancel: cancel,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address ("host:port").
+func (s *TCPServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, closes every connection (cancelling in-flight
+// long polls), and waits for the serving goroutines to drain.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(conn, 32<<10)
+	w := &frameWriter{conn: conn, bw: bufio.NewWriterSize(conn, 32<<10)}
+	for {
+		bp := framePool.Get().(*[]byte)
+		f, buf, err := readFrame(br, (*bp)[:0])
+		*bp = buf
+		if err != nil {
+			framePool.Put(bp)
+			return // closed, EOF, or protocol violation: drop the conn
+		}
+		if f.kind != frameRequest {
+			framePool.Put(bp)
+			return
+		}
+		s.wg.Add(1)
+		go s.dispatch(ctx, w, f, bp)
+	}
+}
+
+// dispatch runs one request to completion and writes its response.
+// Each request gets its own goroutine so long polls do not block the
+// connection's other in-flight requests. The frame buffer is
+// recycled as soon as the request is decoded — before serve blocks.
+func (s *TCPServer) dispatch(ctx context.Context, w *frameWriter, f frame, bp *[]byte) {
+	defer s.wg.Done()
+	codec := codecByID(f.codec)
+	req, known := s.svc.newRequest(f.method)
+	if !known {
+		framePool.Put(bp)
+		w.write(frameError, f.method, f.codec, f.id, codec, nil,
+			fmt.Sprintf("method %d not supported", f.method))
+		return
+	}
+	if req != nil {
+		if err := codec.Unmarshal(f.payload, req); err != nil {
+			framePool.Put(bp)
+			w.write(frameError, f.method, f.codec, f.id, codec, nil, err.Error())
+			return
+		}
+	}
+	framePool.Put(bp)
+	resp, err := s.svc.serve(ctx, f.method, req)
+	if err != nil {
+		w.write(frameError, f.method, f.codec, f.id, codec, nil, err.Error())
+		return
+	}
+	w.write(frameResponse, f.method, f.codec, f.id, codec, resp, "")
+}
+
+// frameWriter serializes response frames onto one connection. The
+// first write failure closes the connection: responses can never be
+// delivered again, so continuing to read and execute the peer's
+// requests would apply side effects the peer never hears about.
+// Closing unblocks the connection's read loop, which tears the
+// serving state down and cancels in-flight handlers.
+type frameWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	err  error
+}
+
+func (w *frameWriter) write(kind, method, cID byte, id uint64, codec Codec, msg interface{}, errText string) {
+	bp := framePool.Get().(*[]byte)
+	b, err := appendFrame((*bp)[:0], kind, method, cID, id, codec, msg, errText)
+	if err != nil {
+		// Encoding failed: report the failure instead of the payload.
+		b, err = appendFrame(b[:0], frameError, method, cID, id, codec, nil, err.Error())
+	}
+	if err == nil {
+		w.mu.Lock()
+		if w.err == nil {
+			if _, werr := w.bw.Write(b); werr != nil {
+				w.err = werr
+			} else {
+				w.err = w.bw.Flush()
+			}
+			if w.err != nil {
+				w.conn.Close()
+			}
+		}
+		w.mu.Unlock()
+	}
+	*bp = b
+	framePool.Put(bp)
+}
+
+// --- client ---
+
+// tcpDialAttempts bounds connection-establishment retries before a
+// call fails and the transport reports the error.
+const tcpDialAttempts = 5
+
+// tcpClient multiplexes calls over one persistent framed connection,
+// redialing (with backoff) when the connection is lost.
+type tcpClient struct {
+	addr  string
+	codec Codec
+	cID   byte
+	errs  chan<- error // fatal transport errors (nil: unreported)
+
+	// closed is atomic so Close takes effect immediately even while
+	// a dial-retry cycle is in flight.
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	cs      *tcpConnState // nil when disconnected
+	dialing chan struct{} // non-nil while one caller redials
+	nextID  uint64
+}
+
+// tcpConnState is the per-connection half of the client: the pending
+// call map and the writer, both tied to one net.Conn's lifetime.
+type tcpConnState struct {
+	client *tcpClient
+	conn   net.Conn
+	bw     *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan tcpResult
+	dead    bool
+	err     error
+}
+
+type tcpResult struct {
+	bp      *[]byte // pooled payload buffer (nil on error)
+	payload []byte
+	err     error
+}
+
+func newTCPClient(addr string, codec Codec, errs chan<- error) *tcpClient {
+	if codec == nil {
+		codec = CodecBinary
+	}
+	return &tcpClient{addr: tcpAddr(addr), codec: codec, cID: codecID(codec), errs: errs}
+}
+
+// tcpAddr strips an optional tcp:// scheme so flags accept both
+// "host:port" and "tcp://host:port".
+func tcpAddr(addr string) string {
+	return strings.TrimPrefix(addr, "tcp://")
+}
+
+// checkTCPAddr rejects addresses carrying a non-tcp scheme before
+// they reach the dialer, where an http:// base URL (the HTTP flags'
+// default) would otherwise burn the full retry budget resolving a
+// nonsense host and fail without naming the actual mistake.
+func checkTCPAddr(addr string) error {
+	if i := strings.Index(addr, "://"); i >= 0 && addr[:i] != "tcp" {
+		return fmt.Errorf("cluster: %q has scheme %q — the tcp transport takes host:port (or tcp://host:port) addresses", addr, addr[:i])
+	}
+	return nil
+}
+
+func (c *tcpClient) report(err error) {
+	if c.errs == nil || c.closed.Load() {
+		return // failures after Close are teardown, not faults
+	}
+	select {
+	case c.errs <- err:
+	default:
+	}
+}
+
+// connState returns the live connection state plus a fresh request
+// id, dialing if disconnected. Dialing is single-flight and runs
+// WITHOUT holding c.mu, so concurrent callers wait on a channel and
+// stay interruptible by their own contexts instead of queueing
+// uninterruptibly on the mutex through a multi-second retry cycle.
+func (c *tcpClient) connState(ctx context.Context) (*tcpConnState, uint64, error) {
+	for {
+		c.mu.Lock()
+		if c.closed.Load() {
+			c.mu.Unlock()
+			return nil, 0, ErrTransportClosed
+		}
+		if c.cs != nil {
+			cs := c.cs
+			id := c.nextID
+			c.nextID++
+			c.mu.Unlock()
+			return cs, id, nil
+		}
+		if c.dialing == nil {
+			// This caller dials; everyone else waits on done.
+			done := make(chan struct{})
+			c.dialing = done
+			c.mu.Unlock()
+
+			cs, err := c.dial(ctx)
+			c.mu.Lock()
+			c.dialing = nil
+			if err == nil {
+				if c.closed.Load() {
+					err = ErrTransportClosed
+					cs.conn.Close()
+				} else {
+					c.cs = cs
+					go cs.readLoop()
+				}
+			}
+			c.mu.Unlock()
+			close(done)
+			if err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		done := c.dialing
+		c.mu.Unlock()
+		select {
+		case <-done:
+			// Re-check: the dial succeeded or this caller retries it.
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// dial establishes one connection, retrying with backoff. It holds no
+// client locks; the retry loop aborts early when the client is closed
+// or ctx is cancelled. Exhausting the retries is a fatal transport
+// error: it is pushed to the error channel and returned.
+func (c *tcpClient) dial(ctx context.Context) (*tcpConnState, error) {
+	var err error
+	backoff := 10 * time.Millisecond
+	for i := 0; i < tcpDialAttempts; i++ {
+		if c.closed.Load() {
+			return nil, ErrTransportClosed
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if i > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		var conn net.Conn
+		conn, err = net.DialTimeout("tcp", c.addr, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		return &tcpConnState{
+			client: c, conn: conn,
+			bw:      bufio.NewWriterSize(conn, 32<<10),
+			pending: make(map[uint64]chan tcpResult),
+		}, nil
+	}
+	err = fmt.Errorf("cluster: tcp dial %s: %w (after %d attempts)", c.addr, err, tcpDialAttempts)
+	c.report(err)
+	return nil, err
+}
+
+// call performs one request/response round trip. in may be nil (empty
+// request payload); out may be nil (response payload discarded).
+func (c *tcpClient) call(ctx context.Context, method byte, in, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Encode the request frame before touching any lock; the request
+	// id is patched in once assigned.
+	bp := framePool.Get().(*[]byte)
+	b, err := appendFrame((*bp)[:0], frameRequest, method, c.cID, 0, c.codec, in, "")
+	if err != nil {
+		*bp = b
+		framePool.Put(bp)
+		return fmt.Errorf("cluster: tcp marshal method %d: %w", method, err)
+	}
+
+	cs, id, err := c.connState(ctx)
+	if err != nil {
+		*bp = b
+		framePool.Put(bp)
+		return err
+	}
+	binary.BigEndian.PutUint64(b[7:7+8], id)
+
+	ch := make(chan tcpResult, 1)
+	cs.mu.Lock()
+	if cs.dead {
+		cs.mu.Unlock()
+		*bp = b
+		framePool.Put(bp)
+		return cs.err
+	}
+	cs.pending[id] = ch
+	_, werr := cs.bw.Write(b)
+	if werr == nil {
+		werr = cs.bw.Flush()
+	}
+	cs.mu.Unlock()
+	*bp = b
+	framePool.Put(bp)
+
+	if werr != nil {
+		cs.fail(fmt.Errorf("cluster: tcp write %s: %w", c.addr, werr))
+		// fail resolved every pending call, ours included — but a
+		// response that raced in before the failure still counts, so
+		// the result is handled exactly like the normal path.
+		return c.finish(<-ch, out)
+	}
+	select {
+	case res := <-ch:
+		return c.finish(res, out)
+	case <-ctx.Done():
+		cs.mu.Lock()
+		delete(cs.pending, id)
+		cs.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// finish decodes one call's resolved result into out and recycles the
+// response buffer.
+func (c *tcpClient) finish(res tcpResult, out interface{}) error {
+	if res.err != nil {
+		return res.err
+	}
+	var err error
+	if out != nil {
+		err = c.codec.Unmarshal(res.payload, out)
+	}
+	if res.bp != nil {
+		framePool.Put(res.bp)
+	}
+	return err
+}
+
+// Close tears down the connection and fails in-flight calls. Further
+// calls return ErrTransportClosed. The atomic flag also aborts any
+// dial-retry cycle in progress before taking the lock.
+func (c *tcpClient) Close() {
+	c.closed.Store(true)
+	c.mu.Lock()
+	cs := c.cs
+	c.cs = nil
+	c.mu.Unlock()
+	if cs != nil {
+		cs.fail(ErrTransportClosed)
+	}
+}
+
+// fail marks the connection dead exactly once, resolving every
+// pending call with err. The next call on the client redials.
+func (cs *tcpConnState) fail(err error) {
+	cs.conn.Close()
+	cs.mu.Lock()
+	if !cs.dead {
+		cs.dead = true
+		cs.err = err
+		for id, ch := range cs.pending {
+			delete(cs.pending, id)
+			ch <- tcpResult{err: err}
+		}
+	}
+	cs.mu.Unlock()
+
+	c := cs.client
+	c.mu.Lock()
+	if c.cs == cs {
+		c.cs = nil
+	}
+	c.mu.Unlock()
+}
+
+// readLoop receives response frames and resolves pending calls by id.
+func (cs *tcpConnState) readLoop() {
+	br := bufio.NewReaderSize(cs.conn, 32<<10)
+	for {
+		bp := framePool.Get().(*[]byte)
+		f, buf, err := readFrame(br, (*bp)[:0])
+		*bp = buf
+		if err != nil {
+			framePool.Put(bp)
+			cs.fail(fmt.Errorf("cluster: tcp read %s: %w", cs.client.addr, err))
+			return
+		}
+		cs.mu.Lock()
+		ch, ok := cs.pending[f.id]
+		delete(cs.pending, f.id)
+		cs.mu.Unlock()
+		if !ok {
+			framePool.Put(bp) // call cancelled while in flight
+			continue
+		}
+		switch f.kind {
+		case frameResponse:
+			ch <- tcpResult{bp: bp, payload: f.payload}
+		case frameError:
+			rerr := errors.New("cluster: tcp remote: " + string(f.payload))
+			framePool.Put(bp)
+			ch <- tcpResult{err: rerr}
+		default: // a request frame from the server: protocol violation
+			framePool.Put(bp)
+			cs.fail(fmt.Errorf("cluster: tcp %s sent frame kind %d", cs.client.addr, f.kind))
+			return
+		}
+	}
+}
+
+// --- conns ---
+
+type tcpLBConn struct{ c *tcpClient }
+
+// NewTCPLBConn connects to a framed-TCP load balancer at addr
+// ("host:port"; a tcp:// prefix is accepted). A nil codec defaults to
+// the binary codec. The connection is persistent and multiplexed;
+// it is established lazily and redialed with backoff after failures.
+func NewTCPLBConn(addr string, codec Codec) LBConn {
+	return tcpLBConn{newTCPClient(addr, codec, nil)}
+}
+
+func (c tcpLBConn) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.c.call(ctx, methodQuery, &q, &resp)
+	return resp, err
+}
+
+func (c tcpLBConn) SubmitBatch(ctx context.Context, req SubmitRequest) error {
+	return c.c.call(ctx, methodSubmit, &req, nil)
+}
+
+func (c tcpLBConn) PollResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := c.c.call(ctx, methodResults, &req, &resp)
+	return resp, err
+}
+
+func (c tcpLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
+	var resp PullResponse
+	err := c.c.call(ctx, methodPull, &req, &resp)
+	return resp, err
+}
+
+func (c tcpLBConn) Complete(ctx context.Context, req CompleteRequest) error {
+	return c.c.call(ctx, methodComplete, &req, nil)
+}
+
+func (c tcpLBConn) Configure(ctx context.Context, req ConfigureLBRequest) error {
+	return c.c.call(ctx, methodConfigureLB, &req, nil)
+}
+
+func (c tcpLBConn) Stats(ctx context.Context) (LBStats, error) {
+	var out LBStats
+	err := c.c.call(ctx, methodLBStats, nil, &out)
+	return out, err
+}
+
+type tcpWorkerConn struct{ c *tcpClient }
+
+// NewTCPWorkerConn connects to a worker's framed-TCP control plane.
+func NewTCPWorkerConn(addr string, codec Codec) WorkerConn {
+	return tcpWorkerConn{newTCPClient(addr, codec, nil)}
+}
+
+func (c tcpWorkerConn) Configure(ctx context.Context, req ConfigureWorkerRequest) error {
+	return c.c.call(ctx, methodConfigureWorker, &req, nil)
+}
+
+func (c tcpWorkerConn) Stats(ctx context.Context) (WorkerStats, error) {
+	var out WorkerStats
+	err := c.c.call(ctx, methodWorkerStats, nil, &out)
+	return out, err
+}
+
+// --- transport ---
+
+// tcpTransport serves components on loopback TCP listeners and
+// connects them with persistent multiplexed framed connections.
+type tcpTransport struct {
+	codec Codec
+	errs  chan error
+
+	mu    sync.Mutex
+	srvs  []*TCPServer
+	conns []*tcpClient
+}
+
+func newTCPTransport(codec Codec) *tcpTransport {
+	return &tcpTransport{codec: codec, errs: make(chan error, 8)}
+}
+
+func (t *tcpTransport) Name() string { return TransportTCP }
+
+func (t *tcpTransport) Errors() <-chan error { return t.errs }
+
+func (t *tcpTransport) ServeLB(s *LBServer) (LBConn, error) {
+	srv, err := ServeLBTCP("127.0.0.1:0", s)
+	if err != nil {
+		return nil, err
+	}
+	cl := newTCPClient(srv.Addr(), t.codec, t.errs)
+	t.mu.Lock()
+	t.srvs = append(t.srvs, srv)
+	t.conns = append(t.conns, cl)
+	t.mu.Unlock()
+	return tcpLBConn{cl}, nil
+}
+
+func (t *tcpTransport) ServeWorker(s *WorkerServer) (WorkerConn, error) {
+	srv, err := ServeWorkerTCP("127.0.0.1:0", s)
+	if err != nil {
+		return nil, err
+	}
+	cl := newTCPClient(srv.Addr(), t.codec, t.errs)
+	t.mu.Lock()
+	t.srvs = append(t.srvs, srv)
+	t.conns = append(t.conns, cl)
+	t.mu.Unlock()
+	return tcpWorkerConn{cl}, nil
+}
+
+func (t *tcpTransport) Close() {
+	t.mu.Lock()
+	conns, srvs := t.conns, t.srvs
+	t.conns, t.srvs = nil, nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, s := range srvs {
+		s.Close()
+	}
+}
+
+// closeServers kills only the server side — listeners and accepted
+// connections — leaving the clients to discover the loss, redial, and
+// exhaust their retries. Tests use it to inject mid-run failures.
+func (t *tcpTransport) closeServers() {
+	t.mu.Lock()
+	srvs := t.srvs
+	t.mu.Unlock()
+	for _, s := range srvs {
+		s.Close()
+	}
+}

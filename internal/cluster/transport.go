@@ -46,15 +46,18 @@ const (
 	TransportJSON   = "json"   // HTTP with the JSON codec
 	TransportBinary = "binary" // HTTP with the binary codec
 	TransportInproc = "inproc" // in-process direct dispatch
+	TransportTCP    = "tcp"    // raw framed TCP with the binary codec
 )
 
 // Transport assembles a cluster's connections: it makes servers
 // reachable and hands out conns for the workers, the controller, and
 // the replay client. The HTTP transports serve components on loopback
 // listeners and connect them with persistent keep-alive connections;
+// the TCP transport uses persistent multiplexed framed connections;
 // the in-process transport skips the network and the codec entirely.
 type Transport interface {
-	// Name returns the transport name ("json", "binary", "inproc").
+	// Name returns the transport name ("json", "binary", "inproc",
+	// "tcp").
 	Name() string
 	// ServeLB makes the LB reachable and returns a conn to it.
 	ServeLB(s *LBServer) (LBConn, error)
@@ -62,6 +65,12 @@ type Transport interface {
 	ServeWorker(s *WorkerServer) (WorkerConn, error)
 	// Close tears down listeners (no-op for inproc).
 	Close()
+	// Errors exposes fatal transport failures (a connection lost for
+	// good, dial retries exhausted). Harnesses watch it so a dead
+	// transport aborts the run instead of silently dropping queries.
+	// A nil channel means the transport never reports (inproc cannot
+	// fail; HTTP failures surface per call).
+	Errors() <-chan error
 }
 
 // NewTransport builds a transport by name. Empty defaults to JSON
@@ -74,8 +83,42 @@ func NewTransport(name string) (Transport, error) {
 		return &httpTransport{name: TransportBinary, codec: CodecBinary, client: NewWireClient(0)}, nil
 	case TransportInproc:
 		return localTransport{}, nil
+	case TransportTCP:
+		return newTCPTransport(CodecBinary), nil
 	}
-	return nil, fmt.Errorf("cluster: unknown transport %q (have json, binary, inproc)", name)
+	return nil, fmt.Errorf("cluster: unknown transport %q (have json, binary, inproc, tcp)", name)
+}
+
+// DialLB connects to a standalone load balancer process. transport is
+// "http" (or empty) for the HTTP wire path — addr is a base URL like
+// "http://host:8100" — or "tcp" for the framed TCP path, with addr a
+// "host:port". The cmd binaries use it behind their -transport flags.
+func DialLB(transport, addr string, codec Codec) (LBConn, error) {
+	switch transport {
+	case "", "http":
+		return NewHTTPLBConn(NewWireClient(0), addr, codec), nil
+	case TransportTCP:
+		if err := checkTCPAddr(addr); err != nil {
+			return nil, err
+		}
+		return NewTCPLBConn(addr, codec), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown dial transport %q (have http, tcp)", transport)
+}
+
+// DialWorker connects to a standalone worker's control plane; see
+// DialLB for the transport names.
+func DialWorker(transport, addr string, codec Codec) (WorkerConn, error) {
+	switch transport {
+	case "", "http":
+		return NewHTTPWorkerConn(NewWireClient(0), addr, codec), nil
+	case TransportTCP:
+		if err := checkTCPAddr(addr); err != nil {
+			return nil, err
+		}
+		return NewTCPWorkerConn(addr, codec), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown dial transport %q (have http, tcp)", transport)
 }
 
 // NewWireClient returns an HTTP client tuned for the cluster data
@@ -122,6 +165,8 @@ func (t *httpTransport) Close() {
 	t.srvs = nil
 }
 
+func (t *httpTransport) Errors() <-chan error { return nil }
+
 // localTransport wires components with direct calls.
 type localTransport struct{}
 
@@ -131,6 +176,8 @@ func (localTransport) ServeWorker(s *WorkerServer) (WorkerConn, error) {
 	return NewLocalWorkerConn(s), nil
 }
 func (localTransport) Close() {}
+
+func (localTransport) Errors() <-chan error { return nil }
 
 // --- HTTP conns ---
 

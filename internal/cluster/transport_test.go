@@ -40,37 +40,6 @@ func TestSleepTraceCtxInterruptible(t *testing.T) {
 	}
 }
 
-func TestPullLongPollBlocksUntilWork(t *testing.T) {
-	lb := newTestLB(0.01)
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		lb.SubmitBatch([]QueryMsg{{ID: 11, Arrival: 0.001}})
-	}()
-	start := time.Now()
-	// Wait 10 trace seconds = 100ms wall; work arrives at ~30ms.
-	resp := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 10})
-	if len(resp.Queries) != 1 || resp.Queries[0].ID != 11 {
-		t.Fatalf("long poll returned %+v", resp.Queries)
-	}
-	if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
-		t.Errorf("long poll returned after %v, want ~30ms", wall)
-	}
-	lb.DrainRemaining()
-}
-
-func TestPullLongPollHonorsDeadline(t *testing.T) {
-	lb := newTestLB(0.01)
-	start := time.Now()
-	resp := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 3})
-	if len(resp.Queries) != 0 {
-		t.Fatalf("empty queue long poll returned %+v", resp.Queries)
-	}
-	// 3 trace seconds at 0.01 = 30ms wall.
-	if wall := time.Since(start); wall < 20*time.Millisecond || wall > 3*time.Second {
-		t.Errorf("long poll deadline after %v, want ~30ms", wall)
-	}
-}
-
 func TestPullLongPollCancellable(t *testing.T) {
 	lb := newTestLB(1) // 60 trace seconds would be a minute of wall time
 	ctx, cancel := context.WithCancel(context.Background())
@@ -123,97 +92,54 @@ func TestSubmitBatchResultsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestTransportsAgreeOnHTTPAndLocal drives the same single-query flow
-// through the binary HTTP conn and the local conn and checks the
-// responses match field for field.
-func TestTransportsAgreeOnHTTPAndLocal(t *testing.T) {
-	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
-		t.Run(name, func(t *testing.T) {
-			tp, err := NewTransport(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer tp.Close()
-			lb := newTestLB(0.001)
-			conn, err := tp.ServeLB(lb)
-			if err != nil {
-				t.Fatal(err)
-			}
+// TestDrainRefusesLatePushes pins the end-of-run shutdown semantics:
+// once DrainRemaining has swept the queues, a submission or a
+// cascade deferral that lost the race with the sweep must resolve as
+// a drop — never sit stranded in a queue no worker will pull again.
+func TestDrainRefusesLatePushes(t *testing.T) {
+	lb := newTestLB(0.001)
+	lb.Configure(ConfigureLBRequest{Threshold: 0.8})
 
-			respCh := make(chan QueryResponse, 1)
-			errCh := make(chan error, 1)
-			go func() {
-				resp, err := conn.Submit(context.Background(), QueryMsg{ID: 7, Arrival: 0.001})
-				errCh <- err
-				respCh <- resp
-			}()
-			pulled, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 20})
-			if err != nil || len(pulled.Queries) != 1 {
-				t.Fatalf("pull = %+v, %v", pulled, err)
-			}
-			err = conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: []CompleteItem{{
-				ID: 7, Arrival: 0.001, Variant: "sdturbo",
-				Features: []float64{1, 2}, Artifact: 0.5, Confidence: 0.9,
-			}}})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := <-errCh; err != nil {
-				t.Fatal(err)
-			}
-			resp := <-respCh
-			if resp.ID != 7 || resp.Dropped || resp.Variant != "sdturbo" ||
-				len(resp.Features) != 2 || resp.Artifact != 0.5 || resp.Confidence != 0.9 {
-				t.Errorf("response = %+v", resp)
-			}
+	// A query pulled by a worker while the drain runs...
+	lb.SubmitBatch([]QueryMsg{{ID: 1, Arrival: 0.001}})
+	pulled := lb.Pull(context.Background(), PullRequest{Role: "light", Max: 1, Wait: 5})
+	if len(pulled.Queries) != 1 {
+		t.Fatalf("pulled %+v", pulled.Queries)
+	}
+	lb.DrainRemaining()
 
-			if err := conn.Configure(context.Background(), ConfigureLBRequest{Threshold: 0.5}); err != nil {
-				t.Fatal(err)
+	// ...completes below threshold afterwards: the deferral must not
+	// strand, and late submissions must drop too.
+	lb.Complete(CompleteRequest{Role: "light", Items: []CompleteItem{
+		{ID: 1, Arrival: 0.001, Variant: "sdturbo", Confidence: 0.2},
+	}})
+	lb.SubmitBatch([]QueryMsg{{ID: 2, Arrival: 0.002}})
+
+	got := map[int]bool{}
+	for len(got) < 2 {
+		resp := lb.PollResults(context.Background(), ResultsRequest{Max: 10, Wait: 5})
+		if len(resp.Results) == 0 {
+			t.Fatalf("late pushes never resolved: have %v", got)
+		}
+		for _, r := range resp.Results {
+			if !r.Dropped {
+				t.Errorf("post-drain result %+v, want dropped", r)
 			}
-			stats, err := conn.Stats(context.Background())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if stats.Completed != 1 || stats.Dropped != 0 {
-				t.Errorf("stats = %+v", stats)
-			}
-		})
+			got[r.ID] = true
+		}
+	}
+	if stats := lb.Stats(); stats.HeavyQueueLen != 0 || stats.LightQueueLen != 0 {
+		t.Errorf("post-drain queues not empty: %+v", stats)
 	}
 }
 
-func TestWorkerConnAcrossTransports(t *testing.T) {
-	f := newFixtures(t)
-	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
-		t.Run(name, func(t *testing.T) {
-			tp, err := NewTransport(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer tp.Close()
-			ws := NewWorkerServer(WorkerConfig{
-				ID: 4, Space: f.space, Light: f.light, Heavy: f.heavy,
-				Scorer: f.scorer, Clock: NewClock(0.001), DisableLoadDelay: true,
-			})
-			conn, err := tp.ServeWorker(ws)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := conn.Configure(context.Background(), ConfigureWorkerRequest{Role: "heavy", Batch: 6}); err != nil {
-				t.Fatal(err)
-			}
-			st, err := conn.Stats(context.Background())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if st.ID != 4 || st.Role != "heavy" || st.Batch != 6 {
-				t.Errorf("stats = %+v", st)
-			}
-		})
-	}
-}
+// Conn-level behavioral assertions (query round trips, worker conns,
+// long-poll semantics, shutdown cases) live in the conformance suite:
+// see TestTransportConformance in conformance_test.go, which runs
+// them over every transport × codec combination.
 
 // TestHarnessTransportEquivalence replays the same lightly loaded
-// trace at a fixed seed through all three transports and requires
+// trace at a fixed seed through all four transports and requires
 // identical completed/dropped outcomes: with ample capacity the
 // outcome set is timing-insensitive, so any divergence indicates a
 // transport bug rather than scheduling noise.
@@ -231,7 +157,7 @@ func TestHarnessTransportEquivalence(t *testing.T) {
 		fid                         float64
 	}
 	outcomes := map[string]outcome{}
-	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
+	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc, TransportTCP} {
 		res, err := Run(HarnessConfig{
 			Space: f.space, Light: f.light, Heavy: f.heavy, Scorer: f.scorer,
 			Mode: loadbalancer.ModeCascade, Workers: 8, SLO: 5,

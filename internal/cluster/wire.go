@@ -13,8 +13,10 @@
 //     reflection on the hot path;
 //   - a Transport / LBConn / WorkerConn abstraction over how encoded
 //     messages move: persistent HTTP connections (with either codec),
-//     or an in-process fast path that dispatches direct calls with
-//     zero serialization so the harness can validate at the highest
+//     raw framed TCP (persistent multiplexed connections carrying
+//     length-prefixed frames — no HTTP machinery on the hot path), or
+//     an in-process fast path that dispatches direct calls with zero
+//     serialization so the harness can validate at the highest
 //     timescale factors.
 //
 // The data path is pull-based and latency-conscious: clients submit

@@ -72,7 +72,7 @@ func BenchmarkCodecCompleteRequest(b *testing.B) {
 // collected — through each transport. Divide B/op and allocs/op by 8
 // for per-query numbers.
 func BenchmarkWirePath(b *testing.B) {
-	for _, name := range []string{TransportJSON, TransportBinary, TransportInproc} {
+	for _, name := range []string{TransportJSON, TransportBinary, TransportTCP, TransportInproc} {
 		b.Run(name, func(b *testing.B) {
 			tp, err := NewTransport(name)
 			if err != nil {

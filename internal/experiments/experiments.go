@@ -52,8 +52,9 @@ type Config struct {
 	// bit-for-bit identical at every setting.
 	Parallelism int
 	// ClusterTransport selects the cluster runtime's wire path for
-	// SimVsCluster: "json" (default), "binary", or "inproc". The
-	// in-process transport replays at the highest timescale factors.
+	// SimVsCluster: "json" (default), "binary", "tcp" (raw framed
+	// TCP), or "inproc". The in-process and TCP transports replay at
+	// the highest timescale factors.
 	ClusterTransport string
 }
 

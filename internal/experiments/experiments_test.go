@@ -233,6 +233,34 @@ func TestSimVsClusterInprocTransport(t *testing.T) {
 	}
 }
 
+// TestSimVsClusterTCPTransport re-runs the validation over the raw
+// framed-TCP transport at 50x real time — a real socket between
+// components, with wire overhead low enough for the in-process
+// timescale. Agreement bounds match the other transports.
+func TestSimVsClusterTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster comparison skipped in -short mode")
+	}
+	cfg := shortCfg()
+	cfg.ClusterTransport = "tcp"
+	r, err := SimVsCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Sim.FID) || math.IsNaN(r.Cluster.FID) {
+		t.Fatal("FID not computed")
+	}
+	if !strings.Contains(r.Cluster.Approach, "tcp") {
+		t.Errorf("cluster approach %q does not name the transport", r.Cluster.Approach)
+	}
+	if r.FIDDeltaPct > 8 {
+		t.Errorf("FID delta %.2f%% too large", r.FIDDeltaPct)
+	}
+	if r.ViolationDeltaAbs > 0.20 {
+		t.Errorf("violation delta %.3f too large", r.ViolationDeltaAbs)
+	}
+}
+
 func TestReuseStudyCompatibility(t *testing.T) {
 	r, err := ReuseStudy(shortCfg())
 	if err != nil {

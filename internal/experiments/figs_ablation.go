@@ -311,10 +311,11 @@ func SimVsCluster(cfg Config) (*SimVsClusterResult, error) {
 	// 0.1 wall-seconds per trace-second (10x speedup) on the HTTP
 	// transports: fast enough for CI, slow enough that wire overhead
 	// stays negligible next to the profiled execution latencies. The
-	// in-process transport has no wire overhead at all, so it
-	// validates at 5x that rate (50x real time).
+	// in-process transport has no wire overhead at all, and the raw
+	// framed-TCP transport's is a small fraction of HTTP's, so both
+	// validate at 5x that rate (50x real time).
 	timescale := 0.1
-	if cfg.ClusterTransport == cluster.TransportInproc {
+	if cfg.ClusterTransport == cluster.TransportInproc || cfg.ClusterTransport == cluster.TransportTCP {
 		timescale = 0.02
 	}
 	res, err := cluster.Run(cluster.HarnessConfig{

@@ -81,42 +81,56 @@ func New(mode Mode, windowSecs float64, rng *stats.RNG) *LB {
 // Mode returns the routing policy.
 func (lb *LB) Mode() Mode { return lb.mode }
 
+// ClampProb clamps a probability to [0, 1].
+func ClampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
 // SetSplit updates the random-split heavy probability (Proteus mode).
 // Values are clamped to [0, 1].
 func (lb *LB) SetSplit(p float64) {
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	lb.splitProb = p
+	lb.splitProb = ClampProb(p)
 }
 
 // Split returns the current heavy-routing probability.
 func (lb *LB) Split() float64 { return lb.splitProb }
 
-// Route enqueues an arriving query and returns the pool it joined.
-func (lb *LB) Route(now float64, it queueing.Item) PoolID {
-	switch lb.mode {
+// Decide picks the pool an arrival joins under the routing policy:
+// the single source of truth shared by the simulator's LB and the
+// cluster runtime's LBServer. rng is consulted only in
+// ModeRandomSplit (one Bernoulli draw per arrival); the other modes
+// never touch it.
+func Decide(mode Mode, splitProb float64, rng *stats.RNG) PoolID {
+	switch mode {
 	case ModeAllHeavy:
-		lb.Heavy.Push(now, it)
-		lb.routedHeavy++
 		return PoolHeavy
 	case ModeRandomSplit:
-		if lb.rng.Bernoulli(lb.splitProb) {
-			lb.Heavy.Push(now, it)
-			lb.routedHeavy++
+		if rng.Bernoulli(splitProb) {
 			return PoolHeavy
 		}
-		lb.Light.Push(now, it)
-		lb.routedLight++
 		return PoolLight
 	default: // ModeCascade, ModeAllLight
-		lb.Light.Push(now, it)
-		lb.routedLight++
 		return PoolLight
 	}
+}
+
+// Route enqueues an arriving query and returns the pool it joined.
+func (lb *LB) Route(now float64, it queueing.Item) PoolID {
+	pool := Decide(lb.mode, lb.splitProb, lb.rng)
+	if pool == PoolHeavy {
+		lb.Heavy.Push(now, it)
+		lb.routedHeavy++
+	} else {
+		lb.Light.Push(now, it)
+		lb.routedLight++
+	}
+	return pool
 }
 
 // Defer moves a low-confidence query to the heavy pool (cascade mode).

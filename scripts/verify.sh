@@ -12,8 +12,10 @@ go vet ./...
 go build ./...
 go test ./...
 # The cluster runtime is the one heavily concurrent package (long-poll
-# waiters, broadcast wakeups, shared clock): run its data-path tests
-# under the race detector. -short skips the wall-clock-calibrated
-# end-to-end harness assertions, which the ~10x race slowdown would
-# distort.
+# waiters, per-pool LB locks, multiplexed TCP connections, broadcast
+# wakeups, shared clock): run its data-path tests — including the
+# TestLBServerPerPoolLockStress submit/pull/complete hammer and the
+# transport conformance matrix — under the race detector. -short skips
+# the wall-clock-calibrated end-to-end harness assertions, which the
+# ~10x race slowdown would distort.
 go test -race -short ./internal/cluster/ ./internal/parallel/
