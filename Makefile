@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire fuzz-smoke
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard fuzz-smoke
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -37,6 +37,12 @@ bench-perf:
 # PERFORMANCE.md).
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/
+
+# bench-shard measures aggregate submit throughput of the sharded LB
+# tier vs a single LBServer (see PERFORMANCE.md's "Sharded LB tier"
+# table; acceptance bar: >= 1.5x at 2 shards).
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSubmit' -benchmem ./internal/cluster/
 
 # fuzz-smoke runs each decoder fuzz target briefly on top of the
 # committed seed corpus (testdata/fuzz). CI runs this on every push;

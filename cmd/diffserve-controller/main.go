@@ -11,6 +11,13 @@
 // With -transport=tcp the controller dials the load balancer and the
 // workers over the raw framed-TCP protocol; -lb and -workers then
 // take host:port addresses.
+//
+// Against a sharded LB tier, pass the full shard list via
+// -shard-addrs (same order on every process): the controller
+// broadcasts policy to every shard, merges their stats, and stripes
+// worker roles so each shard keeps both pools served (worker i is
+// assumed pinned to shard i mod shards, matching diffserve-worker's
+// -shard-addrs behavior).
 package main
 
 import (
@@ -29,15 +36,16 @@ import (
 
 func main() {
 	var (
-		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
-		workerCSV = flag.String("workers", "", "comma-separated worker base URLs (host:port with -transport tcp)")
-		transport = flag.String("transport", "http", "wire transport to LB and workers: http|tcp (raw framed TCP)")
-		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
-		slo       = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
-		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
-		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
-		interval  = flag.Float64("interval", 2, "control period in trace seconds")
-		codecName = flag.String("codec", "json", "wire codec to LB and workers: json|binary")
+		lbURL      = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated LB shard addresses; overrides -lb and enables shard-striped role assignment")
+		workerCSV  = flag.String("workers", "", "comma-separated worker base URLs (host:port with -transport tcp)")
+		transport  = flag.String("transport", "http", "wire transport to LB and workers: http|tcp (raw framed TCP)")
+		cascadeN   = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
+		slo        = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
+		seed       = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale  = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		interval   = flag.Float64("interval", 2, "control period in trace seconds")
+		codecName  = flag.String("codec", "json", "wire codec to LB and workers: json|binary")
 	)
 	flag.Parse()
 
@@ -72,8 +80,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lbConn, err := cluster.DialLB(*transport, *lbURL, codec)
-	if err != nil {
+	clock := cluster.NewClock(*timescale)
+	var lbConn cluster.LBConn
+	shards := 1
+	if *shardAddrs != "" {
+		frontend, err := cluster.DialShardedLB(*transport, *shardAddrs, codec, clock)
+		if err != nil {
+			fatal(err)
+		}
+		lbConn, shards = frontend, frontend.Shards()
+	} else if lbConn, err = cluster.DialLB(*transport, *lbURL, codec); err != nil {
 		fatal(err)
 	}
 	workerConns := make([]cluster.WorkerConn, len(workerURLs))
@@ -82,13 +98,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	clock := cluster.NewClock(*timescale)
 	loop := cluster.NewControllerLoop(cluster.ControllerConfig{
 		Ctrl: ctrl, LB: lbConn, Workers: workerConns,
-		Mode: loadbalancer.ModeCascade, Clock: clock,
+		Mode: loadbalancer.ModeCascade, Clock: clock, Shards: shards,
 	})
-	fmt.Printf("diffserve-controller: %d workers, SLO %.1fs, interval %.1fs\n",
-		len(workerURLs), deadline, *interval)
+	fmt.Printf("diffserve-controller: %d workers, %d LB shard(s), SLO %.1fs, interval %.1fs\n",
+		len(workerURLs), shards, deadline, *interval)
 	loop.Run(context.Background())
 }
 

@@ -8,8 +8,17 @@
 // framed-TCP protocol (persistent multiplexed connections) instead of
 // HTTP; every peer must then dial with -transport=tcp too.
 //
+// With -lb-shards N the process serves N independent LB shards on
+// consecutive ports (port, port+1, …, port+N-1), each owning the
+// slice of query IDs that loadbalancer.ShardOf assigns it and drawing
+// routing randomness from its own "lb/<shard>" stream of the shared
+// seed. Peers pass the same shard list via their -shard-addrs flags:
+// workers pin to one shard, the controller and client fan out across
+// all of them. Run one shard per host for multi-host layouts.
+//
 //	diffserve-lb -port 8100 -cascade cascade1 -slo 5 -timescale 0.1
 //	diffserve-lb -port 8100 -transport tcp -codec binary
+//	diffserve-lb -port 8100 -lb-shards 2 -transport tcp
 package main
 
 import (
@@ -25,7 +34,8 @@ import (
 
 func main() {
 	var (
-		port      = flag.Int("port", 8100, "listen port")
+		port      = flag.Int("port", 8100, "listen port (shard i listens on port+i)")
+		shards    = flag.Int("lb-shards", 1, "number of LB shards to serve on consecutive ports")
 		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
 		slo       = flag.Float64("slo", 0, "SLO seconds (0 = cascade default)")
 		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
@@ -39,6 +49,9 @@ func main() {
 	codec, err := cluster.CodecByName(*codecName)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-lb-shards must be at least 1, got %d", *shards))
 	}
 	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
 	if err != nil {
@@ -56,27 +69,39 @@ func main() {
 	}[*mode]
 
 	clock := cluster.NewClock(*timescale)
-	lb := cluster.NewLBServer(cluster.LBConfig{
-		Mode: lbMode, SLO: deadline,
-		LightMinExec: env.Light.Latency.Latency(1) + env.Scorer.PerImageLatency(),
-		HeavyMinExec: env.Heavy.Latency.Latency(1),
-		Clock:        clock, Seed: *seed,
-	})
-	addr := fmt.Sprintf(":%d", *port)
-	fmt.Printf("diffserve-lb: %s on %s (cascade %s, SLO %.1fs, mode %s, %s transport, %s codec)\n",
-		env.Spec.Name, addr, *cascadeN, deadline, *mode, *transport, codec.Name())
-	switch *transport {
-	case "", "http":
-		if err := http.ListenAndServe(addr, lb.Mux()); err != nil {
-			fatal(err)
+	fmt.Printf("diffserve-lb: %s, %d shard(s) from port %d (cascade %s, SLO %.1fs, mode %s, %s transport, %s codec)\n",
+		env.Spec.Name, *shards, *port, *cascadeN, deadline, *mode, *transport, codec.Name())
+
+	errc := make(chan error, *shards)
+	for i := 0; i < *shards; i++ {
+		cfg := cluster.LBConfig{
+			Mode: lbMode, SLO: deadline,
+			LightMinExec: env.Light.Latency.Latency(1) + env.Scorer.PerImageLatency(),
+			HeavyMinExec: env.Heavy.Latency.Latency(1),
+			Clock:        clock, Seed: *seed,
 		}
-	case cluster.TransportTCP:
-		if _, err := cluster.ServeLBTCP(addr, lb); err != nil {
-			fatal(err)
+		if *shards > 1 {
+			cfg.RNGStream = fmt.Sprintf("lb/%d", i)
 		}
-		select {} // serve until the process is killed
-	default:
-		fatal(fmt.Errorf("unknown -transport %q (have http, tcp)", *transport))
+		lb := cluster.NewLBServer(cfg)
+		addr := fmt.Sprintf(":%d", *port+i)
+		fmt.Printf("diffserve-lb: shard %d on %s\n", i, addr)
+		switch *transport {
+		case "", "http":
+			go func(addr string, lb *cluster.LBServer) {
+				errc <- http.ListenAndServe(addr, lb.Mux())
+			}(addr, lb)
+		case cluster.TransportTCP:
+			if _, err := cluster.ServeLBTCP(addr, lb); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown -transport %q (have http, tcp)", *transport))
+		}
+	}
+	// Serve until the process is killed or an HTTP listener fails.
+	if err := <-errc; err != nil {
+		fatal(err)
 	}
 }
 

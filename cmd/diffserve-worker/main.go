@@ -10,8 +10,15 @@
 // framed-TCP protocol (-lb takes a host:port) and serves its own
 // control plane over framed TCP as well.
 //
+// Against a sharded LB tier, pass the full shard list via
+// -shard-addrs (same order on every process): the worker pins itself
+// to shard (id mod len(addrs)) and pulls, completes, and defers only
+// within that shard — the multi-host layout runs one shard plus its
+// worker group per host with no cross-host data traffic.
+//
 //	diffserve-worker -port 50051 -id 0 -lb http://localhost:8100 -cascade cascade1
 //	diffserve-worker -port 50051 -id 0 -lb localhost:8100 -transport tcp -codec binary
+//	diffserve-worker -port 50051 -id 3 -shard-addrs localhost:8100,localhost:8101 -transport tcp
 package main
 
 import (
@@ -27,15 +34,16 @@ import (
 
 func main() {
 	var (
-		port      = flag.Int("port", 50051, "listen port (control API)")
-		id        = flag.Int("id", 0, "worker ID")
-		lbURL     = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
-		cascadeN  = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
-		seed      = flag.Uint64("seed", 20250610, "shared experiment seed")
-		timescale = flag.Float64("timescale", 0.1, "wall seconds per trace second")
-		fastLoad  = flag.Bool("fast-load", false, "skip model-switch load delays")
-		transport = flag.String("transport", "http", "wire transport to the LB and for the control API: http|tcp (raw framed TCP)")
-		codecName = flag.String("codec", "json", "wire codec to the LB: json|binary")
+		port       = flag.Int("port", 50051, "listen port (control API)")
+		id         = flag.Int("id", 0, "worker ID")
+		lbURL      = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated LB shard addresses; the worker pins to shard (id mod count), overriding -lb")
+		cascadeN   = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
+		seed       = flag.Uint64("seed", 20250610, "shared experiment seed")
+		timescale  = flag.Float64("timescale", 0.1, "wall seconds per trace second")
+		fastLoad   = flag.Bool("fast-load", false, "skip model-switch load delays")
+		transport  = flag.String("transport", "http", "wire transport to the LB and for the control API: http|tcp (raw framed TCP)")
+		codecName  = flag.String("codec", "json", "wire codec to the LB: json|binary")
 	)
 	flag.Parse()
 
@@ -47,7 +55,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lbConn, err := cluster.DialLB(*transport, *lbURL, codec)
+	lbAddr := *lbURL
+	if *shardAddrs != "" {
+		addrs := cluster.SplitShardAddrs(*shardAddrs)
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("no shard addresses in -shard-addrs %q", *shardAddrs))
+		}
+		shard := *id % len(addrs)
+		lbAddr = addrs[shard]
+		fmt.Printf("diffserve-worker %d: pinned to LB shard %d of %d (%s)\n", *id, shard, len(addrs), lbAddr)
+	}
+	lbConn, err := cluster.DialLB(*transport, lbAddr, codec)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +79,7 @@ func main() {
 	go ws.Loop(context.Background())
 
 	addr := fmt.Sprintf(":%d", *port)
-	fmt.Printf("diffserve-worker %d: ready on %s (%s transport, pulling from %s)\n", *id, addr, *transport, *lbURL)
+	fmt.Printf("diffserve-worker %d: ready on %s (%s transport, pulling from %s)\n", *id, addr, *transport, lbAddr)
 	if *transport == cluster.TransportTCP {
 		if _, err := cluster.ServeWorkerTCP(addr, ws); err != nil {
 			fatal(err)

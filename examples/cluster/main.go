@@ -1,10 +1,12 @@
 // Cluster example: run the full DiffServe system as real networked
-// components — load balancer, eight workers, and the MILP controller
-// — wired over loopback sockets, then replay a trace through the
-// network data path at 10x speed. The example uses the raw framed-TCP
-// transport (persistent multiplexed connections, binary codec), the
-// fastest wire path; swap the Transport field for the HTTP or
-// in-process alternatives.
+// components — a sharded load-balancer tier (two LB shards
+// partitioning the query stream by ID hash), eight workers pinned to
+// their shards, and the MILP controller — wired over loopback
+// sockets, then replay a trace through the network data path at 10x
+// speed. The example uses the raw framed-TCP transport (persistent
+// multiplexed connections, binary codec), the fastest wire path; swap
+// the Transport field for the HTTP or in-process alternatives, or set
+// LBShards to 1 for the classic single-balancer topology.
 //
 //	go run ./examples/cluster
 package main
@@ -53,7 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("replaying %s through LB + %d workers + controller over raw TCP with the binary codec (10x speed)...\n",
+	fmt.Printf("replaying %s through 2 LB shards + %d workers + controller over raw TCP with the binary codec (10x speed)...\n",
 		tr.Name(), workers)
 	res, err := cluster.Run(cluster.HarnessConfig{
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
@@ -65,13 +67,18 @@ func main() {
 		// and cluster.TransportInproc (zero-serialization direct
 		// dispatch for maximum replay speed).
 		Transport: cluster.TransportTCP,
+		// Sharded LB tier: queries are partitioned by ID hash across
+		// two independent balancer shards; each worker pins to the
+		// shard (worker ID mod 2) and the client merges both result
+		// streams.
+		LBShards: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	sum := res.Summary()
-	fmt.Printf("\ncompleted in %.1fs wall time (%s transport)\n", res.WallSeconds, res.Transport)
+	fmt.Printf("\ncompleted in %.1fs wall time (%s transport, %d LB shards)\n", res.WallSeconds, res.Transport, res.LBShards)
 	fmt.Printf("queries          %d\n", sum.Queries)
 	fmt.Printf("FID              %.2f\n", sum.FID)
 	fmt.Printf("SLO violations   %.3f (drops %.3f)\n", sum.ViolationRatio, sum.DropRatio)

@@ -24,6 +24,11 @@ type ExperimentConfig struct {
 	// the sim-vs-cluster experiment: "json" (default), "binary",
 	// "tcp", or "inproc".
 	ClusterTransport string
+	// ClusterLBShards runs the sim-vs-cluster experiment's cluster
+	// side through the sharded LB tier with this many shards (0 or 1:
+	// the single-LB topology) and adds a single-vs-sharded outcome
+	// parity check.
+	ClusterLBShards int
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
@@ -34,6 +39,7 @@ func (c ExperimentConfig) internal() experiments.Config {
 		TraceDuration:    c.TraceDurationSeconds,
 		Short:            c.Short,
 		ClusterTransport: c.ClusterTransport,
+		ClusterLBShards:  c.ClusterLBShards,
 	}
 }
 

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"diffserve/internal/loadbalancer"
 )
 
 // transportCase is one transport × codec combination under
@@ -165,6 +168,136 @@ func testTransportConformance(t *testing.T, tc transportCase) {
 		}
 		if !got[1] || !got[2] {
 			t.Errorf("missing results: %v", got)
+		}
+	})
+
+	t.Run("zero-wait-nonblocking", func(t *testing.T) {
+		tp := tc.mk()
+		defer tp.Close()
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 50,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: NewClock(0.01), Seed: 1, CoalesceWait: 1e-9,
+		})
+		conn := serveTestLB(t, tp, lb)
+
+		// Empty queue, empty results: Wait <= 0 must return
+		// immediately on every transport — a zero wait is an explicit
+		// non-blocking poll, never a zero-deadline sleep. The clock
+		// runs at 0.01, so any accidental blocking path (e.g. a
+		// long-poll slice) would cost hundreds of milliseconds.
+		start := time.Now()
+		resp, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 4})
+		if err != nil || len(resp.Queries) != 0 {
+			t.Fatalf("zero-wait pull on empty queue = %+v, %v", resp.Queries, err)
+		}
+		rres, err := conn.PollResults(context.Background(), ResultsRequest{Max: 4})
+		if err != nil || len(rres.Results) != 0 {
+			t.Fatalf("zero-wait results on empty buffer = %+v, %v", rres.Results, err)
+		}
+		if wall := time.Since(start); wall > 2*time.Second {
+			t.Errorf("zero-wait polls took %v, want immediate", wall)
+		}
+
+		// With work queued and a result buffered, the same zero-wait
+		// calls must return them without blocking.
+		if err := conn.SubmitBatch(context.Background(), SubmitRequest{Queries: []QueryMsg{{ID: 3, Arrival: 0.001}}}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err = conn.Pull(context.Background(), PullRequest{Role: "light", Max: 4})
+		if err != nil || len(resp.Queries) != 1 || resp.Queries[0].ID != 3 {
+			t.Fatalf("zero-wait pull with queued work = %+v, %v", resp.Queries, err)
+		}
+		err = conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: []CompleteItem{
+			{ID: 3, Arrival: 0.001, Variant: "sdturbo", Confidence: 0.9},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err = conn.PollResults(context.Background(), ResultsRequest{Max: 4})
+		if err != nil || len(rres.Results) != 1 || rres.Results[0].ID != 3 {
+			t.Fatalf("zero-wait results with buffered result = %+v, %v", rres.Results, err)
+		}
+	})
+
+	t.Run("sharded-topology", func(t *testing.T) {
+		// A 2-shard tier over this transport: the frontend must
+		// partition by loadbalancer.ShardOf identically to every other
+		// transport, and merge both shards' result streams.
+		tp := tc.mk()
+		defer tp.Close()
+		clock := NewClock(0.001)
+		const shards, queries = 2, 16
+		lbs := make([]*LBServer, shards)
+		conns := make([]LBConn, shards)
+		for i := range lbs {
+			lbs[i] = NewLBServer(LBConfig{
+				Mode: loadbalancer.ModeCascade, SLO: 1e9,
+				LightMinExec: 0.1, HeavyMinExec: 1.78,
+				Clock: clock, Seed: 1, RNGStream: fmt.Sprintf("lb/%d", i),
+				CoalesceWait: 1e-9,
+			})
+			conns[i] = serveTestLB(t, tp, lbs[i])
+		}
+		fe, err := NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fe.Close()
+
+		qs := make([]QueryMsg, queries)
+		for i := range qs {
+			qs[i] = QueryMsg{ID: i, Arrival: 0.001}
+		}
+		if err := fe.SubmitBatch(context.Background(), SubmitRequest{Queries: qs}); err != nil {
+			t.Fatal(err)
+		}
+		// Shard-pinned pulls through the transport conns: each query
+		// must surface on exactly the shard ShardOf names.
+		for s, conn := range conns {
+			for {
+				resp, err := conn.Pull(context.Background(), PullRequest{Role: "light", Max: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(resp.Queries) == 0 {
+					break
+				}
+				items := make([]CompleteItem, len(resp.Queries))
+				for i, q := range resp.Queries {
+					if want := loadbalancer.ShardOf(q.ID, shards); want != s {
+						t.Errorf("query %d surfaced on shard %d, ShardOf says %d", q.ID, s, want)
+					}
+					items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "sdturbo", Confidence: 0.9}
+				}
+				if err := conn.Complete(context.Background(), CompleteRequest{Role: "light", Items: items}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got := map[int]bool{}
+		deadline := time.Now().Add(10 * time.Second)
+		for len(got) < queries && time.Now().Before(deadline) {
+			resp, err := fe.PollResults(context.Background(), ResultsRequest{Max: 32, Wait: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range resp.Results {
+				if got[r.ID] || r.Dropped {
+					t.Errorf("bad merged result %+v (dup=%v)", r, got[r.ID])
+				}
+				got[r.ID] = true
+			}
+		}
+		if len(got) != queries {
+			t.Fatalf("merged %d of %d results", len(got), queries)
+		}
+		st, err := fe.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != queries || st.Dropped != 0 {
+			t.Errorf("merged stats = %+v", st)
 		}
 	})
 

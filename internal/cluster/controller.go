@@ -22,6 +22,14 @@ type ControllerConfig struct {
 	Mode loadbalancer.Mode
 	// Clock provides trace time.
 	Clock *Clock
+	// Shards is the LB shard count (0 or 1: single LB). Worker i is
+	// pinned to shard i mod Shards — the harness and the cmd wiring
+	// both use that mapping — and role assignment then stripes each
+	// plan across the shard-pinned worker groups so every shard keeps
+	// at least one worker of every role the plan uses: a shard whose
+	// partition of the query stream has no light (or no heavy) worker
+	// would starve, which a global plan never intends.
+	Shards int
 }
 
 // ControllerLoop polls runtime statistics, re-solves allocation, and
@@ -116,10 +124,54 @@ func (c *ControllerLoop) Apply(ctx context.Context, plan allocator.Plan) {
 			needLight, needHeavy = len(c.assigned), 0
 		}
 	}
-	next := make([]string, len(c.assigned))
+
+	var next []string
+	if shards := c.cfg.Shards; shards > 1 {
+		// Sharded LB tier: stripe the plan across the shard-pinned
+		// worker groups (worker i serves shard i mod shards) so each
+		// shard's partition of the query stream keeps both roles.
+		groups := make([][]int, shards)
+		for i := range c.assigned {
+			s := i % shards
+			groups[s] = append(groups[s], i)
+		}
+		sizes := make([]int, shards)
+		for s, g := range groups {
+			sizes[s] = len(g)
+		}
+		lightQ, heavyQ := shardQuotas(needLight, needHeavy, sizes)
+		next = make([]string, len(c.assigned))
+		for s, g := range groups {
+			cur := make([]string, len(g))
+			for j, i := range g {
+				cur[j] = c.assigned[i]
+			}
+			sub := assignRoles(cur, lightQ[s], heavyQ[s])
+			for j, i := range g {
+				next[i] = sub[j]
+			}
+		}
+	} else {
+		next = assignRoles(c.assigned, needLight, needHeavy)
+	}
+	for i, conn := range c.cfg.Workers {
+		batch := plan.LightBatch
+		if next[i] == "heavy" {
+			batch = plan.HeavyBatch
+		}
+		_ = conn.Configure(ctx, ConfigureWorkerRequest{
+			Role: next[i], Batch: batch,
+		})
+	}
+	c.assigned = next
+}
+
+// assignRoles computes the next role assignment for one worker group,
+// keeping matching existing roles in place to minimize model reloads.
+func assignRoles(current []string, needLight, needHeavy int) []string {
+	next := make([]string, len(current))
 	light, heavy := 0, 0
-	// Keep matching roles in place to minimize model reloads.
-	for i, role := range c.assigned {
+	for i, role := range current {
 		switch {
 		case role == "light" && light < needLight:
 			next[i] = "light"
@@ -144,14 +196,125 @@ func (c *ControllerLoop) Apply(ctx context.Context, plan allocator.Plan) {
 			next[i] = "idle"
 		}
 	}
-	for i, conn := range c.cfg.Workers {
-		batch := plan.LightBatch
-		if next[i] == "heavy" {
-			batch = plan.HeavyBatch
-		}
-		_ = conn.Configure(ctx, ConfigureWorkerRequest{
-			Role: next[i], Batch: batch,
-		})
+	return next
+}
+
+// shardQuotas splits a global role plan across shard-pinned worker
+// groups. Each role is divided proportionally to group size (largest
+// remainder, ties to the lower shard for determinism), group capacity
+// overflows are repaired by moving the excess to shards with spare
+// workers, and finally every shard is guaranteed at least one worker
+// of each role the plan uses at all — stealing from the shard's other
+// role when it has workers to spare — because a shard-pinned
+// partition with zero light (or zero heavy) workers starves its share
+// of the query stream. The per-shard totals may therefore deviate
+// from the plan by a worker or two near the minimum; the aggregate
+// never exceeds the group capacities.
+func shardQuotas(needLight, needHeavy int, sizes []int) (light, heavy []int) {
+	n := len(sizes)
+	total := 0
+	for _, s := range sizes {
+		total += s
 	}
-	c.assigned = next
+	split := func(need int) []int {
+		q := make([]int, n)
+		if total == 0 || need <= 0 {
+			return q
+		}
+		rem := make([]float64, n)
+		given := 0
+		for i, s := range sizes {
+			exact := float64(need) * float64(s) / float64(total)
+			q[i] = int(exact)
+			rem[i] = exact - float64(q[i])
+			given += q[i]
+		}
+		for given < need {
+			best := -1
+			for i := 0; i < n; i++ {
+				if q[i] >= sizes[i] {
+					continue
+				}
+				if best < 0 || rem[i] > rem[best] {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			q[best]++
+			rem[best] = -1
+			given++
+		}
+		return q
+	}
+	light, heavy = split(needLight), split(needHeavy)
+
+	// Capacity repair: the two roles were split independently, so a
+	// group's quotas can sum past its size. Move the excess unit of
+	// the group's larger role to the first shard with spare room (or
+	// drop it — only reachable when the plan exceeds total capacity,
+	// which Apply already clamps away).
+	for i := 0; i < n; i++ {
+		for light[i]+heavy[i] > sizes[i] {
+			role := light
+			if heavy[i] > light[i] {
+				role = heavy
+			}
+			role[i]--
+			for j := 0; j < n; j++ {
+				if light[j]+heavy[j] < sizes[j] {
+					role[j]++
+					break
+				}
+			}
+		}
+	}
+
+	// Starvation guard: every shard the plan can cover gets at least
+	// one worker of each role in use. The unit comes from the richest
+	// shard of that role when one has more than a single worker
+	// (preserving the plan's totals); otherwise the role grows by one
+	// at the expense of the shard's other role, because a starved
+	// partition is strictly worse than a plan deviated by one worker.
+	ensure := func(role, other []int, need int) {
+		for i := 0; i < n; i++ {
+			if need <= 0 || role[i] > 0 || sizes[i] == 0 {
+				continue
+			}
+			freedOther := false
+			if role[i]+other[i] >= sizes[i] {
+				if other[i] > 1 {
+					other[i]--
+					freedOther = true
+				} else {
+					continue // one-worker group: the other role keeps it
+				}
+			}
+			donor := -1
+			for j := 0; j < n; j++ {
+				if role[j] > 1 && (donor < 0 || role[j] > role[donor]) {
+					donor = j
+				}
+			}
+			if donor >= 0 {
+				role[donor]--
+			}
+			role[i]++
+			if freedOther {
+				// The unit stolen from the shard's other role still
+				// belongs to the plan: re-grant it to a shard with
+				// spare capacity rather than silently idling a worker.
+				for j := 0; j < n; j++ {
+					if light[j]+heavy[j] < sizes[j] {
+						other[j]++
+						break
+					}
+				}
+			}
+		}
+	}
+	ensure(light, heavy, needLight)
+	ensure(heavy, light, needHeavy)
+	return light, heavy
 }

@@ -51,6 +51,13 @@ type HarnessConfig struct {
 	// The harness still owns and closes it. Tests use it to inject
 	// failures mid-run.
 	TransportImpl Transport
+	// LBShards runs the sharded LB tier: the query stream is
+	// partitioned by ID hash across this many independent LBServer
+	// shards (each with its own RNG stream "lb/<shard>"), worker i is
+	// pinned to shard i mod LBShards, and the client plus controller
+	// speak to a ShardedLB frontend. 0 or 1 runs the single-LB
+	// topology.
+	LBShards int
 }
 
 func (c *HarnessConfig) validate() error {
@@ -79,6 +86,8 @@ type Result struct {
 	Queries   int
 	// Transport names the transport the run used.
 	Transport string
+	// LBShards is the LB shard count the run used (1 = single LB).
+	LBShards int
 	// WallSeconds is the real elapsed time.
 	WallSeconds float64
 }
@@ -111,15 +120,42 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if cfg.Scorer != nil && cfg.Mode == loadbalancer.ModeCascade {
 		discLat = cfg.Scorer.PerImageLatency()
 	}
-	lb := NewLBServer(LBConfig{
-		Mode: cfg.Mode, SLO: cfg.SLO,
-		LightMinExec: cfg.Light.Latency.Latency(1) + discLat,
-		HeavyMinExec: cfg.Heavy.Latency.Latency(1),
-		Clock:        clock, Seed: cfg.Seed,
-	})
-	lbConn, err := tp.ServeLB(lb)
-	if err != nil {
-		return nil, err
+	// One LBServer per shard (one shard: the classic topology). Each
+	// shard draws routing randomness from its own stream "lb/<i>" of
+	// the run seed, so per-shard behavior is deterministic and
+	// independent of the shard count of other runs.
+	shardCount := cfg.LBShards
+	if shardCount <= 0 {
+		shardCount = 1
+	}
+	lbs := make([]*LBServer, shardCount)
+	shardConns := make([]LBConn, shardCount)
+	for i := range lbs {
+		lbCfg := LBConfig{
+			Mode: cfg.Mode, SLO: cfg.SLO,
+			LightMinExec: cfg.Light.Latency.Latency(1) + discLat,
+			HeavyMinExec: cfg.Heavy.Latency.Latency(1),
+			Clock:        clock, Seed: cfg.Seed,
+		}
+		if shardCount > 1 {
+			lbCfg.RNGStream = fmt.Sprintf("lb/%d", i)
+		}
+		lbs[i] = NewLBServer(lbCfg)
+		var err error
+		if shardConns[i], err = tp.ServeLB(lbs[i]); err != nil {
+			return nil, err
+		}
+	}
+	var lbConn LBConn
+	if shardCount == 1 {
+		lbConn = shardConns[0]
+	} else {
+		frontend, err := NewShardedLB(ShardedLBConfig{Shards: shardConns, Clock: clock})
+		if err != nil {
+			return nil, err
+		}
+		defer frontend.Close()
+		lbConn = frontend
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -149,11 +185,15 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	workerConns := make([]WorkerConn, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		ws := NewWorkerServer(WorkerConfig{
-			ID: i, LB: lbConn,
+			// Workers pin themselves to their shard's LB: pulls,
+			// completes, and deferrals all stay within the shard that
+			// owns their queries.
+			ID: i, LB: shardConns[i%shardCount],
 			Space: cfg.Space, Light: cfg.Light, Heavy: cfg.Heavy,
 			Scorer: scorer, Clock: clock,
 			DisableLoadDelay: cfg.DisableLoadDelay,
 		})
+		var err error
 		if workerConns[i], err = tp.ServeWorker(ws); err != nil {
 			return nil, err
 		}
@@ -162,7 +202,7 @@ func Run(cfg HarnessConfig) (*Result, error) {
 
 	loop := NewControllerLoop(ControllerConfig{
 		Ctrl: cfg.Ctrl, LB: lbConn, Workers: workerConns,
-		Mode: cfg.Mode, Clock: clock,
+		Mode: cfg.Mode, Clock: clock, Shards: shardCount,
 	})
 	// Initial plan from the trace's starting rate, then periodic ticks.
 	initialPlan, err := cfg.Ctrl.Tick(0, controller.TickInput{
@@ -235,20 +275,25 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	// (a lost submit batch can leave the collector short). A fatal
 	// transport failure aborts the wait immediately.
 	var transportErr error
+	drainAll := func() {
+		for _, lb := range lbs {
+			lb.DrainRemaining()
+		}
+	}
 	grace := 3*cfg.SLO + cfg.Heavy.Latency.Latency(cfg.Heavy.Latency.MaxBatch())
 	horizon := cfg.Trace.Duration() + grace
 	select {
 	case <-done:
 	case transportErr = <-tpFailed:
 	case <-time.After(clock.WallDuration(horizon)):
-		lb.DrainRemaining()
+		drainAll()
 		select {
 		case <-done:
 		case transportErr = <-tpFailed:
 		case <-time.After(clock.WallDuration(grace) + 2*time.Second):
 		}
 	}
-	lb.DrainRemaining()
+	drainAll()
 	cancel()
 	collected.Wait()
 	if transportErr == nil {
@@ -266,12 +311,22 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building FID reference: %w", err)
 	}
+	col := lbs[0].Collector()
+	if shardCount > 1 {
+		// Merge the per-shard collectors into one run-level view. The
+		// run is over: no shard is recording anymore.
+		col = metrics.NewCollector()
+		for _, lb := range lbs {
+			col.Merge(lb.Collector())
+		}
+	}
 	return &Result{
-		Collector:   lb.Collector(),
+		Collector:   col,
 		Reference:   ref,
 		Plans:       loop.Plans(),
 		Queries:     len(arrivals),
 		Transport:   tp.Name(),
+		LBShards:    shardCount,
 		WallSeconds: time.Since(wallStart).Seconds(),
 	}, nil
 }

@@ -35,6 +35,11 @@ type LBConfig struct {
 	// deferral groups into batch-1 executions and halve pool
 	// throughput. Zero defaults to min(0.5s, SLO/10).
 	CoalesceWait float64
+	// RNGStream names the routing RNG stream derived from Seed (empty
+	// defaults to "lb"). The sharded LB tier gives shard i the stream
+	// "lb/<i>" so shards draw independent random-split decisions while
+	// staying deterministic for a given (Seed, shard) pair.
+	RNGStream string
 }
 
 // lbPool is one pool's share of the data path: its FIFO, its long-poll
@@ -45,7 +50,7 @@ type LBConfig struct {
 type lbPool struct {
 	mu      sync.Mutex
 	q       *queueing.FIFO
-	wake    chan struct{}
+	wake    notifier
 	minExec float64
 	// draining is set by DrainRemaining under mu: once the end-of-run
 	// sweep has emptied the queue, late pushes (a deferral or submit
@@ -65,7 +70,7 @@ func (p *lbPool) push(now float64, items ...queueing.Item) bool {
 	for _, it := range items {
 		p.q.Push(now, it)
 	}
-	signal(&p.wake)
+	p.wake.wake()
 	p.mu.Unlock()
 	return true
 }
@@ -108,10 +113,9 @@ type LBServer struct {
 	timeouts  int // since last stats poll
 	completed int
 	dropped   int
-	// Result long-poll wakeup: a closed-and-replaced broadcast
-	// channel. resultsDirty batches the wakeup: a whole Complete batch
-	// signals once, not once per query.
-	wakeResults  chan struct{}
+	// Result long-poll wakeup. resultsDirty batches the wakeup: a
+	// whole Complete batch signals once, not once per query.
+	wakeResults  notifier
 	resultsDirty bool
 }
 
@@ -126,19 +130,22 @@ func NewLBServer(cfg LBConfig) *LBServer {
 			cfg.CoalesceWait = 0.5
 		}
 	}
+	stream := cfg.RNGStream
+	if stream == "" {
+		stream = "lb"
+	}
 	s := &LBServer{
-		cfg:         cfg,
-		rng:         stats.NewRNG(cfg.Seed).Stream("lb"),
-		waiters:     make(map[int]chan QueryResponse),
-		async:       make(map[int]struct{}),
-		col:         metrics.NewCollector(),
-		wakeResults: make(chan struct{}),
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed).Stream(stream),
+		waiters: make(map[int]chan QueryResponse),
+		async:   make(map[int]struct{}),
+		col:     metrics.NewCollector(),
 	}
 	s.pools[loadbalancer.PoolLight] = lbPool{
-		q: queueing.NewFIFO(cfg.QueueWindow), wake: make(chan struct{}), minExec: cfg.LightMinExec,
+		q: queueing.NewFIFO(cfg.QueueWindow), minExec: cfg.LightMinExec,
 	}
 	s.pools[loadbalancer.PoolHeavy] = lbPool{
-		q: queueing.NewFIFO(cfg.QueueWindow), wake: make(chan struct{}), minExec: cfg.HeavyMinExec,
+		q: queueing.NewFIFO(cfg.QueueWindow), minExec: cfg.HeavyMinExec,
 	}
 	return s
 }
@@ -166,11 +173,45 @@ func (s *LBServer) routePool() loadbalancer.PoolID {
 	return loadbalancer.Decide(s.cfg.Mode, s.splitProb, s.rng)
 }
 
-// signal wakes every goroutine blocked on *ch and re-arms it. Callers
-// must hold the lock guarding *ch.
-func signal(ch *chan struct{}) {
-	close(*ch)
-	*ch = make(chan struct{})
+// notifier is a coalescing broadcast wakeup for goroutines that
+// re-check shared state under a lock before sleeping. Every method
+// must be called with the lock guarding the shared state held; that
+// single rule closes the classic missed-wakeup window structurally —
+// a push cannot slip between "state looks empty" and "channel
+// captured" because both happen inside one critical section, and the
+// matching wake runs under the same lock.
+//
+// Wakes with no armed waiter coalesce into nothing: the previous
+// close-and-replace signal() allocated a fresh channel on every push
+// even when no puller was parked, and (worse) made the no-missed-
+// wakeup guarantee depend on each call site remembering to capture
+// the channel before unlocking. Here arming is the capture.
+type notifier struct {
+	armed bool
+	ch    chan struct{}
+}
+
+// wait arms the notifier and returns the channel to block on after
+// the caller releases the lock. One wake resolves every armed waiter;
+// wakers re-check state and call wait again before sleeping anew.
+func (n *notifier) wait() <-chan struct{} {
+	if n.ch == nil {
+		n.ch = make(chan struct{})
+	}
+	n.armed = true
+	return n.ch
+}
+
+// wake unblocks every waiter armed since the previous wake. When no
+// waiter is armed it is a no-op (nothing can be selecting on n.ch),
+// so back-to-back pushes with no parked puller cost nothing.
+func (n *notifier) wake() {
+	if !n.armed {
+		return
+	}
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.armed = false
 }
 
 // Mux returns the HTTP handler exposing the LB API. Handlers decode
@@ -259,7 +300,7 @@ func (s *LBServer) SubmitBatch(qs []QueryMsg) {
 		for _, q := range qs {
 			p.q.Push(now, item(q))
 		}
-		signal(&p.wake)
+		p.wake.wake()
 		p.mu.Unlock()
 		return
 	}
@@ -271,33 +312,35 @@ func (s *LBServer) SubmitBatch(qs []QueryMsg) {
 }
 
 // PollResults returns finished async results, blocking up to req.Wait
-// trace-seconds for at least one to arrive.
+// trace-seconds for at least one to arrive. req.Wait <= 0 is an
+// explicit non-blocking poll: one buffer check, never a sleep —
+// identical across every transport (the conformance suite pins it).
 func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsResponse {
 	max := req.Max
 	if max <= 0 {
 		max = 256
 	}
-	var deadline time.Time
-	if req.Wait > 0 {
-		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	if req.Wait <= 0 {
+		s.resMu.Lock()
+		out := s.takeResultsLocked(max)
+		s.resMu.Unlock()
+		return ResultsResponse{Results: out}
 	}
+	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	for {
 		s.resMu.Lock()
-		if n := len(s.results); n > 0 {
-			if n > max {
-				n = max
-			}
-			out := make([]QueryResponse, n)
-			copy(out, s.results)
-			s.results = append(s.results[:0], s.results[n:]...)
-			s.resMu.Unlock()
+		out := s.takeResultsLocked(max)
+		var wake <-chan struct{}
+		if out == nil {
+			wake = s.wakeResults.wait()
+		}
+		s.resMu.Unlock()
+		if out != nil {
 			return ResultsResponse{Results: out}
 		}
-		wake := s.wakeResults
-		s.resMu.Unlock()
 
 		remain := time.Until(deadline)
-		if req.Wait <= 0 || remain <= 0 {
+		if remain <= 0 {
 			return ResultsResponse{}
 		}
 		t := time.NewTimer(remain)
@@ -310,6 +353,22 @@ func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsR
 		case <-t.C:
 		}
 	}
+}
+
+// takeResultsLocked pops up to max buffered async results, returning
+// nil when none are buffered. Callers must hold resMu.
+func (s *LBServer) takeResultsLocked(max int) []QueryResponse {
+	n := len(s.results)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]QueryResponse, n)
+	copy(out, s.results)
+	s.results = append(s.results[:0], s.results[n:]...)
+	return out
 }
 
 // handleQuery admits a query and blocks until it completes or drops.
@@ -353,8 +412,11 @@ func (s *LBServer) handleResults(w http.ResponseWriter, r *http.Request) {
 // Pull hands up to req.Max queued queries to a worker, shedding
 // queries that can no longer meet their deadline. With req.Wait > 0
 // it long-polls: the call blocks until a batch is dispatchable under
-// the coalescing policy or the wait expires. Pulls only touch their
-// own pool's lock, so light and heavy dispatch proceed concurrently.
+// the coalescing policy or the wait expires. req.Wait <= 0 is an
+// explicit non-blocking poll: one dequeue attempt, never a sleep —
+// identical across every transport (the conformance suite pins it).
+// Pulls only touch their own pool's lock, so light and heavy dispatch
+// proceed concurrently.
 func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 	p := s.pool(req.Role)
 	var deadline time.Time
@@ -365,7 +427,12 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 		now := s.cfg.Clock.Now()
 		p.mu.Lock()
 		shed, items, retry := s.dequeuePool(p, req.Max, now)
-		wake := p.wake
+		var wake <-chan struct{}
+		if len(items) == 0 && req.Wait > 0 {
+			// Arm the wakeup inside the same critical section as the
+			// failed dequeue, so a push cannot race the sleep.
+			wake = p.wake.wait()
+		}
 		p.mu.Unlock()
 
 		if len(shed) > 0 {
@@ -383,8 +450,11 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 			}
 			return resp
 		}
+		if req.Wait <= 0 {
+			return PullResponse{}
+		}
 		remain := time.Until(deadline)
-		if req.Wait <= 0 || remain <= 0 {
+		if remain <= 0 {
 			return PullResponse{}
 		}
 		// Sleep until new work arrives, the head's coalesce window
@@ -501,9 +571,29 @@ func (s *LBServer) handleComplete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
-// completeLocked resolves a waiter and records the outcome. Callers
-// must hold resMu.
+// liveLocked reports whether a query still awaits its resolution —
+// a blocking waiter or an async entry exists. Once resolved, neither
+// does, so completions and drops racing a drain (or arriving twice)
+// become no-ops instead of double-counting in the collector and the
+// control-plane counters. Callers must hold resMu.
+func (s *LBServer) liveLocked(id int) bool {
+	if _, ok := s.waiters[id]; ok {
+		return true
+	}
+	_, ok := s.async[id]
+	return ok
+}
+
+// completeLocked resolves a waiter and records the outcome. A query
+// already resolved — e.g. dropped by DrainRemaining while this
+// completion was in flight, or delivered twice by a retrying peer —
+// is skipped: the first resolution is final and must not be
+// double-recorded or resurrected in the results buffer. Callers must
+// hold resMu.
 func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool) {
+	if !s.liveLocked(item.ID) {
+		return
+	}
 	rec := metrics.QueryRecord{
 		ID:         item.ID,
 		Arrival:    item.Arrival,
@@ -528,8 +618,13 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 	s.resolveLocked(item.ID, resp)
 }
 
-// dropLocked sheds a query. Callers must hold resMu.
+// dropLocked sheds a query. Like completeLocked it is idempotent:
+// a query already resolved by a racing complete or an earlier drain
+// sweep is left alone. Callers must hold resMu.
 func (s *LBServer) dropLocked(id int, arrival float64) {
+	if !s.liveLocked(id) {
+		return
+	}
 	s.col.Record(metrics.QueryRecord{
 		ID: id, Arrival: arrival, Deadline: arrival + s.cfg.SLO, Dropped: true,
 	})
@@ -557,7 +652,7 @@ func (s *LBServer) resolveLocked(id int, resp QueryResponse) {
 // results the caller just resolved. Callers must hold resMu.
 func (s *LBServer) flushResultsLocked() {
 	if s.resultsDirty {
-		signal(&s.wakeResults)
+		s.wakeResults.wake()
 		s.resultsDirty = false
 	}
 }

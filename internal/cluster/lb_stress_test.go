@@ -136,3 +136,240 @@ func TestLBServerPerPoolLockStress(t *testing.T) {
 		t.Errorf("collector recorded %d of %d", lb.Collector().Len(), total)
 	}
 }
+
+// TestNotifierCoalescing pins the notifier contract: arming under the
+// lock always observes a wake that follows it, wakes with no armed
+// waiter are no-ops (no channel churn), and one wake releases every
+// armed waiter.
+func TestNotifierCoalescing(t *testing.T) {
+	var mu sync.Mutex
+	var n notifier
+
+	mu.Lock()
+	ch1 := n.wait()
+	ch2 := n.wait()
+	mu.Unlock()
+	if ch1 != ch2 {
+		t.Fatal("consecutive waits without a wake returned different channels")
+	}
+
+	mu.Lock()
+	n.wake()
+	mu.Unlock()
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("armed waiter's channel not closed by wake")
+	}
+
+	// Unarmed wakes must not replace the channel a future waiter gets.
+	mu.Lock()
+	n.wake()
+	n.wake()
+	ch3 := n.wait()
+	mu.Unlock()
+	select {
+	case <-ch3:
+		t.Fatal("fresh waiter's channel already closed")
+	default:
+	}
+	mu.Lock()
+	n.wake()
+	mu.Unlock()
+	select {
+	case <-ch3:
+	default:
+		t.Fatal("wake after re-arm did not close the channel")
+	}
+}
+
+// TestLBPoolWakeupStress is the missed-wakeup hammer: single-item
+// pushes race pullers whose long-poll deadline is far beyond the test
+// budget, so one dropped wakeup wedges a puller and fails the run.
+// The tiny CoalesceWait makes every push immediately dispatchable —
+// each one must produce a wakeup that some puller observes.
+func TestLBPoolWakeupStress(t *testing.T) {
+	const (
+		pushers = 4
+		pullers = 4
+		perPush = 400
+		total   = pushers * perPush
+	)
+	lb := NewLBServer(LBConfig{
+		Mode: loadbalancer.ModeCascade, SLO: 1e9,
+		LightMinExec: 0.01, HeavyMinExec: 0.02,
+		Clock: NewClock(1e-5), Seed: 3, CoalesceWait: 1e-9,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pulled atomic.Int64
+	var pullWG, pushWG sync.WaitGroup
+
+	for i := 0; i < pullers; i++ {
+		pullWG.Add(1)
+		go func() {
+			defer pullWG.Done()
+			for pulled.Load() < total && ctx.Err() == nil {
+				// 1e7 trace seconds = 100s of wall time at this
+				// timescale: no puller may ever need the deadline.
+				resp := lb.Pull(ctx, PullRequest{Role: "light", Max: 1, Wait: 1e7})
+				if len(resp.Queries) == 0 {
+					continue
+				}
+				items := make([]CompleteItem, len(resp.Queries))
+				for j, q := range resp.Queries {
+					items[j] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "light", Confidence: 0.9}
+				}
+				pulled.Add(int64(len(resp.Queries)))
+				lb.Complete(CompleteRequest{Role: "light", Items: items})
+			}
+		}()
+	}
+	for p := 0; p < pushers; p++ {
+		pushWG.Add(1)
+		go func(p int) {
+			defer pushWG.Done()
+			for i := 0; i < perPush; i++ {
+				lb.SubmitBatch([]QueryMsg{{ID: p*perPush + i}})
+			}
+		}(p)
+	}
+	pushWG.Wait()
+
+	// Every push is in: pullers must observe all of them well before
+	// their own 100s long-poll deadline — a dropped wakeup strands the
+	// last items in the queue until this deadline fires.
+	deadline := time.Now().Add(30 * time.Second)
+	for pulled.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := pulled.Load()
+	// Unblock the pullers still parked on an empty queue (their
+	// sibling consumed the final item and exited the loop).
+	cancel()
+	pullWG.Wait()
+	if got != total {
+		t.Fatalf("wakeup dropped: pullers saw %d of %d single-item pushes", got, total)
+	}
+}
+
+// TestDrainCompleteRaceNoDoubleResolve interleaves DrainRemaining
+// sweeps with in-flight completions — including duplicate deliveries
+// and post-drain cascade deferrals — and requires every query to
+// resolve exactly once: a Complete arriving after the drain resolved
+// its query must neither double-record in the collector nor
+// resurrect a result entry.
+func TestDrainCompleteRaceNoDoubleResolve(t *testing.T) {
+	const (
+		rounds    = 30
+		batchSize = 8
+		total     = rounds * batchSize
+	)
+	lb := NewLBServer(LBConfig{
+		Mode: loadbalancer.ModeCascade, SLO: 1e9,
+		LightMinExec: 0.01, HeavyMinExec: 0.02,
+		Clock: NewClock(1e-5), Seed: 5, CoalesceWait: 1e-9,
+	})
+	// Half the completions fall below the threshold and defer: after a
+	// drain has marked the heavy pool, those deferrals must resolve as
+	// drops exactly once.
+	lb.Configure(ConfigureLBRequest{Threshold: 0.5})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var resolved atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // merged-result accounting
+		defer wg.Done()
+		for resolved.Load() < total && ctx.Err() == nil {
+			resp := lb.PollResults(ctx, ResultsRequest{Max: 64, Wait: 50})
+			resolved.Add(int64(len(resp.Results)))
+		}
+	}()
+
+	// Drain storms race the completions below.
+	var drains sync.WaitGroup
+	drains.Add(1)
+	go func() {
+		defer drains.Done()
+		for resolved.Load() < total && ctx.Err() == nil {
+			lb.DrainRemaining()
+		}
+	}()
+
+	for r := 0; r < rounds; r++ {
+		qs := make([]QueryMsg, batchSize)
+		for i := range qs {
+			qs[i] = QueryMsg{ID: r*batchSize + i}
+		}
+		lb.SubmitBatch(qs)
+		// Pull whatever survived the racing drain; everything else
+		// already resolved as a drop.
+		pulledItems := []CompleteItem{}
+		for {
+			resp := lb.Pull(ctx, PullRequest{Role: "light", Max: batchSize})
+			if len(resp.Queries) == 0 {
+				break
+			}
+			for _, q := range resp.Queries {
+				conf := 0.9
+				if q.ID%2 == 0 {
+					conf = 0.1 // deferral: races the heavy pool's drain state
+				}
+				pulledItems = append(pulledItems, CompleteItem{
+					ID: q.ID, Arrival: q.Arrival, Variant: "light", Confidence: conf,
+				})
+			}
+		}
+		// Deliver every completion twice: the second must be a no-op.
+		lb.Complete(CompleteRequest{Role: "light", Items: pulledItems})
+		lb.Complete(CompleteRequest{Role: "light", Items: pulledItems})
+		// Heavy side serves (or the drain already dropped) deferrals.
+		for {
+			resp := lb.Pull(ctx, PullRequest{Role: "heavy", Max: batchSize})
+			if len(resp.Queries) == 0 {
+				break
+			}
+			items := make([]CompleteItem, len(resp.Queries))
+			for i, q := range resp.Queries {
+				items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "heavy", Confidence: 0.9}
+			}
+			lb.Complete(CompleteRequest{Role: "heavy", Items: items})
+			lb.Complete(CompleteRequest{Role: "heavy", Items: items})
+		}
+	}
+	// Final sweeps resolve anything still parked in a queue.
+	lb.DrainRemaining()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatalf("wedged: resolved %d of %d", resolved.Load(), total)
+	}
+	cancel()
+	drains.Wait()
+
+	if got := resolved.Load(); got != total {
+		t.Fatalf("resolved %d of %d queries (double or lost resolutions)", got, total)
+	}
+	stats := lb.Stats()
+	if stats.Completed+stats.Dropped != total {
+		t.Errorf("counters: completed %d + dropped %d != %d", stats.Completed, stats.Dropped, total)
+	}
+	if lb.Collector().Len() != total {
+		t.Errorf("collector recorded %d of %d (double records?)", lb.Collector().Len(), total)
+	}
+	seen := map[int]int{}
+	for _, rec := range lb.Collector().Records() {
+		seen[rec.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("query %d recorded %d times", id, n)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffserve/internal/loadbalancer"
+)
+
+// This file implements the sharded load-balancer tier: a frontend
+// that partitions the query stream by ID hash across N independent
+// LBServer shards, each reachable through any Transport (inproc,
+// http, tcp). One LBServer process tops out on its result lock and
+// admission path long before "millions of users" arrival rates;
+// partitioning query IDs across shards multiplies the admission and
+// result throughput without any new wire messages — the frontend
+// speaks the existing LBConn verbs to each shard.
+//
+// The partition is loadbalancer.ShardOf, a pure hash of the query ID:
+// every component (frontend, workers, tests, other processes)
+// computes the owning shard locally and deterministically, so a
+// multi-host layout — one LB shard plus a worker group per host —
+// needs no coordination service. Workers pin themselves to a shard by
+// dialing it directly with DialLB; the frontend's Pull exists for
+// workers that want to serve all shards.
+
+// shardPullSlice bounds, in trace seconds, how long a frontend Pull
+// parks on one shard before re-sweeping the others for work.
+const shardPullSlice = 0.25
+
+// ShardedLBConfig parameterizes the sharded frontend.
+type ShardedLBConfig struct {
+	// Shards are the per-shard connections, one per LBServer, in
+	// shard order: Shards[i] must serve the shard that
+	// loadbalancer.ShardOf assigns index i.
+	Shards []LBConn
+	// Clock converts long-poll waits (trace seconds) to wall time,
+	// exactly as the shards themselves do.
+	Clock *Clock
+	// PumpWait is the long-poll duration (trace seconds) of each
+	// background result pump. Zero defaults to 0.5.
+	PumpWait float64
+}
+
+// ShardedLB partitions queries by ID hash across independent LBServer
+// shards and re-exposes them as one LBConn:
+//
+//   - Submit / SubmitBatch route each query to its owning shard
+//     (batches fan out per shard concurrently);
+//   - PollResults merges the shards' result streams: one background
+//     pump per shard long-polls its shard and lands results in a
+//     shared buffer with LBServer-identical wait semantics (pumps
+//     start lazily on the first PollResults call, so a frontend used
+//     only for control-plane fan-out never consumes results);
+//   - Pull sweeps the shards from a rotating start for dispatchable
+//     work, parking on one shard at a time between sweeps;
+//   - Complete routes each finished item back to its owning shard;
+//   - Configure broadcasts; Stats merges the shards' reports.
+//
+// Exactly one process may poll results through a given query's shard
+// — the same destructive-read contract a single LBServer has.
+type ShardedLB struct {
+	cfg    ShardedLBConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Result merge state: pumps append, PollResults drains.
+	resMu   sync.Mutex
+	results []QueryResponse
+	wake    notifier
+	pumpGo  sync.Once
+	pumps   sync.WaitGroup
+
+	// rr rotates Pull's sweep start across calls so concurrent
+	// frontend pullers spread over the shards.
+	rr atomic.Uint64
+
+	// statsMu guards the carried tick counters: a shard's Stats call
+	// destructively resets its since-tick counters, so when a later
+	// shard's poll fails mid-merge the already-reset counters are
+	// stashed here and folded into the next successful merge instead
+	// of vanishing from the controller's demand estimate.
+	statsMu       sync.Mutex
+	carryArrivals int
+	carryTimeouts int
+}
+
+// SplitShardAddrs parses a comma-separated shard address list,
+// trimming whitespace and dropping empty entries (a trailing comma
+// is not a shard). The cmd binaries share it so every -shard-addrs
+// flag parses identically — the list order defines the shard indices
+// loadbalancer.ShardOf routes to, and must match on every process.
+func SplitShardAddrs(csv string) []string {
+	var addrs []string
+	for _, a := range strings.Split(csv, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// DialShardedLB dials every shard of a comma-separated address list
+// with DialLB and wraps the connections in a ShardedLB frontend —
+// the standalone client's and controller's way onto a sharded tier.
+func DialShardedLB(transport, addrCSV string, codec Codec, clock *Clock) (*ShardedLB, error) {
+	addrs := SplitShardAddrs(addrCSV)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard addresses in %q", addrCSV)
+	}
+	conns := make([]LBConn, len(addrs))
+	for i, a := range addrs {
+		conn, err := DialLB(transport, a, codec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dialing shard %d: %w", i, err)
+		}
+		conns[i] = conn
+	}
+	return NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock})
+}
+
+// NewShardedLB builds the frontend over the given shard connections.
+func NewShardedLB(cfg ShardedLBConfig) (*ShardedLB, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: sharded LB needs at least one shard conn")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("cluster: sharded LB needs a clock")
+	}
+	if cfg.PumpWait <= 0 {
+		cfg.PumpWait = 0.5
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &ShardedLB{cfg: cfg, ctx: ctx, cancel: cancel}, nil
+}
+
+// Shards returns the number of shards behind the frontend.
+func (s *ShardedLB) Shards() int { return len(s.cfg.Shards) }
+
+// ShardConn returns the connection serving shard i — workers pin
+// themselves to one shard with it (the harness assigns worker w to
+// shard w mod N).
+func (s *ShardedLB) ShardConn(i int) LBConn { return s.cfg.Shards[i] }
+
+// shardOf maps a query ID to its owning shard connection index.
+func (s *ShardedLB) shardOf(id int) int {
+	return loadbalancer.ShardOf(id, len(s.cfg.Shards))
+}
+
+// Close stops the result pumps. In-flight pump polls are cancelled;
+// callers drain all expected results before closing, exactly as they
+// would before tearing down a single LBServer's transport.
+func (s *ShardedLB) Close() {
+	s.cancel()
+	s.pumps.Wait()
+}
+
+// Submit admits one query on its owning shard and blocks until it
+// completes or drops.
+func (s *ShardedLB) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
+	return s.cfg.Shards[s.shardOf(q.ID)].Submit(ctx, q)
+}
+
+// SubmitBatch splits the batch by owning shard and fans the per-shard
+// batches out concurrently.
+func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
+	n := len(s.cfg.Shards)
+	if n == 1 {
+		return s.cfg.Shards[0].SubmitBatch(ctx, req)
+	}
+	groups := make([][]QueryMsg, n)
+	for _, q := range req.Queries {
+		sh := s.shardOf(q.ID)
+		groups[sh] = append(groups[sh], q)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []QueryMsg) {
+			defer wg.Done()
+			errs[i] = s.cfg.Shards[i].SubmitBatch(ctx, SubmitRequest{Queries: g})
+		}(i, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// startPumps launches one result pump per shard, once.
+func (s *ShardedLB) startPumps() {
+	s.pumpGo.Do(func() {
+		for _, conn := range s.cfg.Shards {
+			s.pumps.Add(1)
+			go s.pump(conn)
+		}
+	})
+}
+
+// pump long-polls one shard for results and lands them in the merged
+// buffer. Results are appended before the error is inspected: an
+// in-process poll cancelled at shutdown still returns the batch it
+// popped, and dropping it would lose resolved queries.
+func (s *ShardedLB) pump(conn LBConn) {
+	defer s.pumps.Done()
+	for s.ctx.Err() == nil {
+		resp, err := conn.PollResults(s.ctx, ResultsRequest{Max: 1024, Wait: s.cfg.PumpWait})
+		if len(resp.Results) > 0 {
+			s.resMu.Lock()
+			s.results = append(s.results, resp.Results...)
+			s.wake.wake()
+			s.resMu.Unlock()
+		}
+		if err != nil {
+			// Transient transport failure (or shutdown): back off so a
+			// dead shard cannot spin the pump.
+			s.cfg.Clock.SleepTraceCtx(s.ctx, 0.05)
+		}
+	}
+}
+
+// PollResults drains the merged result buffer with the same wait
+// semantics as LBServer.PollResults: req.Wait <= 0 is an explicit
+// non-blocking poll; otherwise the call blocks until at least one
+// result arrives from any shard or the wait expires.
+func (s *ShardedLB) PollResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	s.startPumps()
+	max := req.Max
+	if max <= 0 {
+		max = 256
+	}
+	if req.Wait <= 0 {
+		s.resMu.Lock()
+		out := s.takeLocked(max)
+		s.resMu.Unlock()
+		return ResultsResponse{Results: out}, nil
+	}
+	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	for {
+		s.resMu.Lock()
+		out := s.takeLocked(max)
+		var wake <-chan struct{}
+		if out == nil {
+			wake = s.wake.wait()
+		}
+		s.resMu.Unlock()
+		if out != nil {
+			return ResultsResponse{Results: out}, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ResultsResponse{}, nil
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ResultsResponse{}, ctx.Err()
+		case <-s.ctx.Done():
+			t.Stop()
+			return ResultsResponse{}, ErrTransportClosed
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// takeLocked pops up to max merged results; nil when none. Callers
+// must hold resMu.
+func (s *ShardedLB) takeLocked(max int) []QueryResponse {
+	n := len(s.results)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]QueryResponse, n)
+	copy(out, s.results)
+	s.results = append(s.results[:0], s.results[n:]...)
+	return out
+}
+
+// Pull sweeps the shards for dispatchable work, starting each round
+// at a rotating shard so concurrent frontend pullers spread out. With
+// req.Wait > 0 an empty sweep parks on the round's first shard for a
+// bounded slice of the remaining wait, then re-sweeps — work arriving
+// on any shard is picked up within one slice. Workers that should
+// stay pinned to one shard (the multi-host layout) dial their shard
+// directly instead of pulling through the frontend.
+func (s *ShardedLB) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
+	n := len(s.cfg.Shards)
+	if n == 1 {
+		return s.cfg.Shards[0].Pull(ctx, req)
+	}
+	var deadline float64
+	if req.Wait > 0 {
+		deadline = s.cfg.Clock.Now() + req.Wait
+	}
+	for {
+		start := int(s.rr.Add(1)-1) % n
+		sweep := req
+		sweep.Wait = 0
+		for i := 0; i < n; i++ {
+			resp, err := s.cfg.Shards[(start+i)%n].Pull(ctx, sweep)
+			if err != nil {
+				return resp, err
+			}
+			if len(resp.Queries) > 0 {
+				return resp, nil
+			}
+		}
+		if req.Wait <= 0 {
+			return PullResponse{}, nil
+		}
+		remain := deadline - s.cfg.Clock.Now()
+		if remain <= 0 {
+			return PullResponse{}, nil
+		}
+		park := req
+		park.Wait = min(remain, shardPullSlice)
+		resp, err := s.cfg.Shards[start].Pull(ctx, park)
+		if err != nil || len(resp.Queries) > 0 {
+			return resp, err
+		}
+	}
+}
+
+// Complete routes each finished item back to the shard that owns its
+// query ID, fanning the per-shard reports out concurrently.
+func (s *ShardedLB) Complete(ctx context.Context, req CompleteRequest) error {
+	n := len(s.cfg.Shards)
+	if n == 1 {
+		return s.cfg.Shards[0].Complete(ctx, req)
+	}
+	groups := make([][]CompleteItem, n)
+	for _, it := range req.Items {
+		sh := s.shardOf(it.ID)
+		groups[sh] = append(groups[sh], it)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []CompleteItem) {
+			defer wg.Done()
+			errs[i] = s.cfg.Shards[i].Complete(ctx, CompleteRequest{
+				WorkerID: req.WorkerID, Role: req.Role, Items: g,
+			})
+		}(i, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Configure broadcasts the policy update to every shard.
+func (s *ShardedLB) Configure(ctx context.Context, req ConfigureLBRequest) error {
+	errs := make([]error, len(s.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, conn := range s.cfg.Shards {
+		wg.Add(1)
+		go func(i int, conn LBConn) {
+			defer wg.Done()
+			errs[i] = conn.Configure(ctx, req)
+		}(i, conn)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Stats merges the shards' control-plane reports: queue lengths,
+// arrival rates, and counters sum; Now is the latest shard clock.
+// Every shard is polled even after a failure — a poll destructively
+// resets that shard's since-tick counters, so the counters gathered
+// alongside a failed shard are carried over and folded into the next
+// successful merge rather than dropped from the demand estimate.
+func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
+	var out LBStats
+	var firstErr error
+	for _, conn := range s.cfg.Shards {
+		st, err := conn.Stats(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if st.Now > out.Now {
+			out.Now = st.Now
+		}
+		out.LightQueueLen += st.LightQueueLen
+		out.HeavyQueueLen += st.HeavyQueueLen
+		out.LightArrivalRate += st.LightArrivalRate
+		out.HeavyArrivalRate += st.HeavyArrivalRate
+		out.ArrivalsSinceTick += st.ArrivalsSinceTick
+		out.TimeoutsSinceTick += st.TimeoutsSinceTick
+		out.Completed += st.Completed
+		out.Dropped += st.Dropped
+	}
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if firstErr != nil {
+		s.carryArrivals += out.ArrivalsSinceTick
+		s.carryTimeouts += out.TimeoutsSinceTick
+		return LBStats{}, firstErr
+	}
+	out.ArrivalsSinceTick += s.carryArrivals
+	out.TimeoutsSinceTick += s.carryTimeouts
+	s.carryArrivals, s.carryTimeouts = 0, 0
+	return out, nil
+}
+
+// ShardedLB is a full LBConn: clients, the controller, and frontend
+// workers all speak to the shard tier through it.
+var _ LBConn = (*ShardedLB)(nil)

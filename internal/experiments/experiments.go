@@ -56,6 +56,12 @@ type Config struct {
 	// TCP), or "inproc". The in-process and TCP transports replay at
 	// the highest timescale factors.
 	ClusterTransport string
+	// ClusterLBShards runs SimVsCluster's cluster side through the
+	// sharded LB tier with this many shards (0 or 1: single LB). With
+	// shards the experiment also replays a deterministic static trace
+	// through both the single-LB and the sharded topology and reports
+	// the completed/dropped parity between them.
+	ClusterLBShards int
 }
 
 func (c Config) withDefaults() Config {

@@ -261,6 +261,56 @@ func TestSimVsClusterTCPTransport(t *testing.T) {
 	}
 }
 
+// TestSimVsClusterShardedTCP validates the sharded LB tier end to
+// end: the cluster side runs two LB shards over raw TCP (per-shard
+// "lb/<shard>" RNG streams), must still agree with the simulator, and
+// the shard-parity leg must reproduce the single-LB completed/dropped
+// counts exactly on the deterministic static trace.
+func TestSimVsClusterShardedTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster comparison skipped in -short mode")
+	}
+	cfg := shortCfg()
+	cfg.ClusterTransport = "tcp"
+	cfg.ClusterLBShards = 2
+	r, err := SimVsCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Sim.FID) || math.IsNaN(r.Cluster.FID) {
+		t.Fatal("FID not computed")
+	}
+	if !strings.Contains(r.Cluster.Approach, "2 lb shards") {
+		t.Errorf("cluster approach %q does not name the shard count", r.Cluster.Approach)
+	}
+	if r.FIDDeltaPct > 8 {
+		t.Errorf("FID delta %.2f%% too large", r.FIDDeltaPct)
+	}
+	if r.ViolationDeltaAbs > 0.20 {
+		t.Errorf("violation delta %.3f too large", r.ViolationDeltaAbs)
+	}
+	p := r.ShardParity
+	if p == nil {
+		t.Fatal("shard parity not populated")
+	}
+	if p.SingleCompleted+p.SingleDropped != p.Queries {
+		t.Errorf("single-LB accounting: %d completed + %d dropped != %d queries",
+			p.SingleCompleted, p.SingleDropped, p.Queries)
+	}
+	if !p.Matches() {
+		t.Errorf("2-shard topology diverged from single LB: single %d/%d, sharded %d/%d (completed/dropped)",
+			p.SingleCompleted, p.SingleDropped, p.ShardedCompleted, p.ShardedDropped)
+	}
+	if p.SingleDropped != 0 {
+		t.Errorf("parity trace dropped %d queries under light load", p.SingleDropped)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "shard parity") {
+		t.Error("render missing shard parity line")
+	}
+}
+
 func TestReuseStudyCompatibility(t *testing.T) {
 	r, err := ReuseStudy(shortCfg())
 	if err != nil {

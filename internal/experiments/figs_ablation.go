@@ -262,6 +262,28 @@ type SimVsClusterResult struct {
 	Sim, Cluster      Summary
 	FIDDeltaPct       float64
 	ViolationDeltaAbs float64
+	// ShardParity compares a sharded-LB cluster run against a
+	// single-LB run on the same deterministic trace and seed. Only
+	// populated when Config.ClusterLBShards > 1.
+	ShardParity *ShardParity
+}
+
+// ShardParity reports completed/dropped counts of the single-LB and
+// sharded-LB replays of one deterministic trace. Under ample capacity
+// the outcome set is timing-insensitive, so the counts must agree
+// exactly: the partitioned query stream reaches the same completions
+// and the same (zero) drops the single balancer produces.
+type ShardParity struct {
+	Shards                           int
+	Queries                          int
+	SingleCompleted, SingleDropped   int
+	ShardedCompleted, ShardedDropped int
+}
+
+// Matches reports whether the sharded topology reproduced the
+// single-LB outcome counts.
+func (p *ShardParity) Matches() bool {
+	return p.SingleCompleted == p.ShardedCompleted && p.SingleDropped == p.ShardedDropped
 }
 
 // SimVsCluster runs the same cascade-1 workload through both runtimes.
@@ -323,13 +345,18 @@ func SimVsCluster(cfg Config) (*SimVsClusterResult, error) {
 		Mode: loadbalancer.ModeCascade, Workers: cfg.Workers, SLO: env.Spec.SLOSeconds,
 		Trace: tr, Ctrl: ctrl, Timescale: timescale, Seed: env.Seed + 17,
 		DisableLoadDelay: true, Transport: cfg.ClusterTransport,
+		LBShards: cfg.ClusterLBShards,
 	})
 	if err != nil {
 		return nil, err
 	}
 	cs := res.Summary()
+	approach := "diffserve (cluster, " + res.Transport + ")"
+	if res.LBShards > 1 {
+		approach = fmt.Sprintf("diffserve (cluster, %s, %d lb shards)", res.Transport, res.LBShards)
+	}
 	clusterSum := Summary{
-		Approach: "diffserve (cluster, " + res.Transport + ")", Queries: cs.Queries,
+		Approach: approach, Queries: cs.Queries,
 		FID: cs.FID, ViolationRatio: cs.ViolationRatio,
 		DropRatio: cs.DropRatio, DeferRatio: cs.DeferRatio,
 		MeanLatency: cs.MeanLatency, P99Latency: cs.P99Latency,
@@ -340,6 +367,69 @@ func SimVsCluster(cfg Config) (*SimVsClusterResult, error) {
 		out.FIDDeltaPct = 100 * abs(clusterSum.FID-simSum.FID) / simSum.FID
 	}
 	out.ViolationDeltaAbs = abs(clusterSum.ViolationRatio - simSum.ViolationRatio)
+	if cfg.ClusterLBShards > 1 {
+		if out.ShardParity, err = shardParityRuns(cfg, env, timescale); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// shardParityRuns replays one deterministic lightly loaded static
+// trace through the single-LB and the sharded-LB cluster topologies
+// at the same seed. With ample capacity the outcome set is
+// timing-insensitive, so the completed/dropped counts must agree
+// exactly — the sharded tier's validation that consistent ID
+// partitioning (with per-shard "lb/<shard>" RNG streams) loses and
+// invents nothing.
+func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardParity, error) {
+	tr, err := trace.Static(6, 40, 1)
+	if err != nil {
+		return nil, err
+	}
+	const parityWorkers = 8
+	out := &ShardParity{Shards: cfg.ClusterLBShards}
+	run := func(shards int) (completed, dropped int, err error) {
+		a, err := allocator.NewMILP(allocator.Config{
+			Light: env.Light, Heavy: env.Heavy,
+			DiscPerImage: env.Scorer.PerImageLatency(),
+			Deferral:     env.Deferral,
+			TotalWorkers: parityWorkers,
+			SLO:          env.Spec.SLOSeconds,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		ctrl, err := controller.New(controller.Config{Alloc: a})
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := cluster.Run(cluster.HarnessConfig{
+			Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
+			Mode: loadbalancer.ModeCascade, Workers: parityWorkers, SLO: env.Spec.SLOSeconds,
+			Trace: tr, Ctrl: ctrl, Timescale: timescale, Seed: env.Seed + 23,
+			DisableLoadDelay: true, Transport: cfg.ClusterTransport,
+			LBShards: shards,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		out.Queries = res.Queries
+		for _, r := range res.Collector.Records() {
+			if r.Dropped {
+				dropped++
+			} else {
+				completed++
+			}
+		}
+		return completed, dropped, nil
+	}
+	if out.SingleCompleted, out.SingleDropped, err = run(1); err != nil {
+		return nil, err
+	}
+	if out.ShardedCompleted, out.ShardedDropped, err = run(cfg.ClusterLBShards); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -355,6 +445,14 @@ func (r *SimVsClusterResult) Render(w io.Writer) {
 	writeSummaries(w, "Simulator vs. cluster (paper §4.3: 0.56% FID, 1.1% violation gap)",
 		[]Summary{r.Sim, r.Cluster})
 	fmt.Fprintf(w, "FID delta: %.2f%%   violation delta: %.3f\n", r.FIDDeltaPct, r.ViolationDeltaAbs)
+	if p := r.ShardParity; p != nil {
+		verdict := "MATCH"
+		if !p.Matches() {
+			verdict = "MISMATCH"
+		}
+		fmt.Fprintf(w, "shard parity (%d queries, static trace): single LB %d completed / %d dropped, %d shards %d completed / %d dropped — %s\n",
+			p.Queries, p.SingleCompleted, p.SingleDropped, p.Shards, p.ShardedCompleted, p.ShardedDropped, verdict)
+	}
 }
 
 // cascadeCurveDeps keeps the cascade import referenced from this file.

@@ -46,6 +46,26 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
+// ShardOf maps a query ID to one of shards partitions of the query
+// stream. It is the single source of truth for the sharded LB tier's
+// consistent partitioning: a pure FNV-1a hash of the ID, so the
+// assignment is identical across processes, transports, and runs —
+// every component (frontend, workers, tests) that needs to know which
+// LB shard owns a query computes it locally with no coordination.
+// shards <= 1 always maps to shard 0.
+func ShardOf(id, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return int(h % uint64(shards))
+}
+
 // PoolID identifies a destination pool.
 type PoolID int
 

@@ -105,3 +105,45 @@ func TestModeString(t *testing.T) {
 		t.Error("Mode accessor wrong")
 	}
 }
+
+func TestShardOfDeterministicAndBalanced(t *testing.T) {
+	// Pure function of (id, shards): repeated calls and independent
+	// processes must agree, so pin a few golden assignments.
+	golden := map[[2]int]int{}
+	for _, id := range []int{0, 1, 2, 1000, 123456} {
+		for _, n := range []int{1, 2, 4, 8} {
+			golden[[2]int{id, n}] = ShardOf(id, n)
+		}
+	}
+	for k, want := range golden {
+		if got := ShardOf(k[0], k[1]); got != want {
+			t.Errorf("ShardOf(%d, %d) unstable: %d then %d", k[0], k[1], want, got)
+		}
+	}
+	// Degenerate shard counts collapse to shard 0.
+	for _, n := range []int{1, 0, -3} {
+		if got := ShardOf(42, n); got != 0 {
+			t.Errorf("ShardOf(42, %d) = %d, want 0", n, got)
+		}
+	}
+	// Range and balance: sequential IDs (the trace replay pattern)
+	// must spread near-uniformly, not stripe into one shard.
+	for _, n := range []int{2, 3, 4, 8} {
+		counts := make([]int, n)
+		const total = 40000
+		for id := 0; id < total; id++ {
+			s := ShardOf(id, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", id, n, s)
+			}
+			counts[s]++
+		}
+		want := float64(total) / float64(n)
+		for s, c := range counts {
+			if dev := (float64(c) - want) / want; dev < -0.1 || dev > 0.1 {
+				t.Errorf("%d shards: shard %d holds %d of %d (%.1f%% off uniform)",
+					n, s, c, total, 100*dev)
+			}
+		}
+	}
+}

@@ -114,6 +114,18 @@ func (c *Collector) Record(r QueryRecord) {
 	}
 }
 
+// Merge folds every record of other into c by replaying them through
+// Record, so the streaming aggregates (counters, moments, lazily
+// built timeline buckets) stay consistent with the merged record set.
+// The sharded cluster harness uses it to combine per-shard collectors
+// into one run-level view after a run ends; other must not be
+// recording concurrently.
+func (c *Collector) Merge(other *Collector) {
+	for _, r := range other.records {
+		c.Record(r)
+	}
+}
+
 // Len returns the number of recorded queries.
 func (c *Collector) Len() int { return len(c.records) }
 

@@ -12,10 +12,18 @@ go vet ./...
 go build ./...
 go test ./...
 # The cluster runtime is the one heavily concurrent package (long-poll
-# waiters, per-pool LB locks, multiplexed TCP connections, broadcast
-# wakeups, shared clock): run its data-path tests — including the
-# TestLBServerPerPoolLockStress submit/pull/complete hammer and the
-# transport conformance matrix — under the race detector. -short skips
-# the wall-clock-calibrated end-to-end harness assertions, which the
-# ~10x race slowdown would distort.
+# waiters, per-pool LB locks, sharded LB frontend, multiplexed TCP
+# connections, broadcast wakeups, shared clock): run its data-path
+# tests — including the TestLBServerPerPoolLockStress
+# submit/pull/complete hammer and the transport conformance matrix —
+# under the race detector. -short skips the wall-clock-calibrated
+# end-to-end harness assertions, which the ~10x race slowdown would
+# distort.
 go test -race -short ./internal/cluster/ ./internal/parallel/
+# Sharded-LB stress leg: the frontend fan-out/merge paths, the
+# missed-wakeup notifier, and the drain/complete idempotency guard get
+# an extra -count=2 hammering under -race (they are the newest
+# concurrency surface).
+go test -race -short -count=2 \
+	-run 'TestShardedLBStress|TestLBPoolWakeupStress|TestDrainCompleteRaceNoDoubleResolve|TestNotifierCoalescing' \
+	./internal/cluster/
