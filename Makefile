@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard fuzz-smoke
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard fuzz-smoke
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -44,9 +44,23 @@ bench-wire:
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedSubmit' -benchmem ./internal/cluster/
 
+# bench-ring compares the consistent-hash ring lookup against the
+# static-modulus ShardOf baseline (acceptance bar: ring within 2x).
+bench-ring:
+	$(GO) test -run '^$$' -bench 'BenchmarkRingLookup|BenchmarkShardOf' -benchmem ./internal/loadbalancer/
+
+# race-reshard hammers the dynamic-membership machinery — epoch
+# flips, drain migration, retired-shard sweeps, worker re-pinning —
+# under the race detector (the newest concurrency surface).
+race-reshard:
+	$(GO) test -race -short -count=2 \
+		-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
+		./internal/cluster/
+
 # fuzz-smoke runs each decoder fuzz target briefly on top of the
 # committed seed corpus (testdata/fuzz). CI runs this on every push;
 # raise -fuzztime for a deeper local hunt.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime=10s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime=10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzRingLookup -fuzztime=10s ./internal/loadbalancer/

@@ -36,6 +36,7 @@ func main() {
 	var (
 		lbURL      = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
 		shardAddrs = flag.String("shard-addrs", "", "comma-separated LB shard addresses; overrides -lb and partitions the replay across the shards")
+		ringVNodes = flag.Int("ring-vnodes", 0, "virtual nodes per LB shard on the consistent-hash ring (0 = legacy static modulus); must match every peer")
 		transport  = flag.String("transport", "http", "wire transport: http|tcp (raw framed TCP)")
 		traceFile  = flag.String("trace", "", "trace file (empty: generate an Azure-like trace)")
 		cascadeN   = flag.String("cascade", "cascade1", "cascade (for query content + SLO)")
@@ -85,7 +86,7 @@ func main() {
 	clock := cluster.NewClock(*timescale)
 	var conn cluster.LBConn
 	if *shardAddrs != "" {
-		frontend, err := cluster.DialShardedLB(*transport, *shardAddrs, codec, clock)
+		frontend, err := cluster.DialShardedLB(*transport, *shardAddrs, codec, clock, *ringVNodes)
 		if err != nil {
 			fatal(err)
 		}

@@ -17,13 +17,26 @@
 // broadcasts policy to every shard, merges their stats, and stripes
 // worker roles so each shard keeps both pools served (worker i is
 // assumed pinned to shard i mod shards, matching diffserve-worker's
-// -shard-addrs behavior).
+// -shard-addrs behavior). With -ring-vnodes N the tier partitions by
+// consistent-hash ring instead of the static modulus, which makes
+// membership elastic: the -admin-port RPC can then add or remove a
+// shard at runtime without restarting the tier —
+//
+//	curl -X POST localhost:9100/add-shard \
+//	    -d '{"member": 2, "addr": "localhost:8102"}'
+//	curl -X POST localhost:9100/remove-shard -d '{"member": 0}'
+//
+// The controller installs the new ring epoch on its frontend, drains
+// a removed shard's queued work to the survivors, and re-stripes
+// worker roles on the next control tick.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -38,6 +51,8 @@ func main() {
 	var (
 		lbURL      = flag.String("lb", "http://localhost:8100", "load balancer base URL (host:port with -transport tcp)")
 		shardAddrs = flag.String("shard-addrs", "", "comma-separated LB shard addresses; overrides -lb and enables shard-striped role assignment")
+		ringVNodes = flag.Int("ring-vnodes", 0, "virtual nodes per LB shard on the consistent-hash ring (0 = legacy static modulus); must match every peer")
+		adminPort  = flag.Int("admin-port", 0, "admin API port for runtime add-shard/remove-shard (0 = disabled; needs -shard-addrs)")
 		workerCSV  = flag.String("workers", "", "comma-separated worker base URLs (host:port with -transport tcp)")
 		transport  = flag.String("transport", "http", "wire transport to LB and workers: http|tcp (raw framed TCP)")
 		cascadeN   = flag.String("cascade", "cascade1", "cascade: cascade1|cascade2|cascade3")
@@ -82,10 +97,10 @@ func main() {
 	}
 	clock := cluster.NewClock(*timescale)
 	var lbConn cluster.LBConn
+	var frontend *cluster.ShardedLB
 	shards := 1
 	if *shardAddrs != "" {
-		frontend, err := cluster.DialShardedLB(*transport, *shardAddrs, codec, clock)
-		if err != nil {
+		if frontend, err = cluster.DialShardedLB(*transport, *shardAddrs, codec, clock, *ringVNodes); err != nil {
 			fatal(err)
 		}
 		lbConn, shards = frontend, frontend.Shards()
@@ -102,9 +117,67 @@ func main() {
 		Ctrl: ctrl, LB: lbConn, Workers: workerConns,
 		Mode: loadbalancer.ModeCascade, Clock: clock, Shards: shards,
 	})
+	if *adminPort > 0 {
+		if frontend == nil {
+			fatal(fmt.Errorf("-admin-port needs a sharded tier (-shard-addrs)"))
+		}
+		go serveAdmin(*adminPort, frontend, loop, *transport, codec)
+	}
 	fmt.Printf("diffserve-controller: %d workers, %d LB shard(s), SLO %.1fs, interval %.1fs\n",
 		len(workerURLs), shards, deadline, *interval)
 	loop.Run(context.Background())
+}
+
+// serveAdmin exposes the runtime resharding RPC: POST /add-shard
+// {"member": N, "addr": "host:port"} dials the new shard and installs
+// a grown ring epoch; POST /remove-shard {"member": N} shrinks the
+// ring and migrates the departing shard's queued work. Role striping
+// follows on the next control tick.
+func serveAdmin(port int, fe *cluster.ShardedLB, loop *cluster.ControllerLoop, transport string, codec cluster.Codec) {
+	type reshardReq struct {
+		Member int    `json:"member"`
+		Addr   string `json:"addr"`
+	}
+	reply := func(w http.ResponseWriter, err error) {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		loop.SetShards(fe.Shards())
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"epoch": fe.Epoch(), "members": fe.Members(),
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/add-shard", func(w http.ResponseWriter, r *http.Request) {
+		var req reshardReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		conn, err := cluster.DialLB(transport, req.Addr, codec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, fe.AddShard(r.Context(), req.Member, conn))
+	})
+	mux.HandleFunc("/remove-shard", func(w http.ResponseWriter, r *http.Request) {
+		var req reshardReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, fe.RemoveShard(r.Context(), req.Member))
+	})
+	mux.HandleFunc("/ring", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"epoch": fe.Epoch(), "members": fe.Members(),
+		})
+	})
+	if err := http.ListenAndServe(fmt.Sprintf(":%d", port), mux); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

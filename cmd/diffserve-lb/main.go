@@ -16,16 +16,26 @@
 // workers pin to one shard, the controller and client fan out across
 // all of them. Run one shard per host for multi-host layouts.
 //
+// With -admin-port the process serves a small admin API for dynamic
+// shard membership: POST /add-shard brings up one more LB shard on
+// the next consecutive port and reports its address, ready to be
+// joined into the ring via diffserve-controller's /add-shard RPC
+// (the tier must run with matching -ring-vnodes on the frontends).
+//
 //	diffserve-lb -port 8100 -cascade cascade1 -slo 5 -timescale 0.1
 //	diffserve-lb -port 8100 -transport tcp -codec binary
 //	diffserve-lb -port 8100 -lb-shards 2 -transport tcp
+//	diffserve-lb -port 8100 -lb-shards 2 -admin-port 9101
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"sync"
 
 	"diffserve/internal/baselines"
 	"diffserve/internal/cluster"
@@ -43,6 +53,8 @@ func main() {
 		mode      = flag.String("mode", "cascade", "routing: cascade|all-light|all-heavy|random-split")
 		transport = flag.String("transport", "http", "wire transport: http|tcp (raw framed TCP)")
 		codecName = flag.String("codec", "json", "advertised wire codec: json|binary (the server answers each request in the codec it arrived in)")
+		adminPort = flag.Int("admin-port", 0, "admin API port: POST /add-shard serves one more shard on the next consecutive port (0 = disabled)")
+		advertise = flag.String("advertise", "", "host other processes should dial this LB's shards at; /add-shard reports addresses as <advertise>:<port> (empty: port-only, same-host layouts)")
 	)
 	flag.Parse()
 
@@ -72,32 +84,70 @@ func main() {
 	fmt.Printf("diffserve-lb: %s, %d shard(s) from port %d (cascade %s, SLO %.1fs, mode %s, %s transport, %s codec)\n",
 		env.Spec.Name, *shards, *port, *cascadeN, deadline, *mode, *transport, codec.Name())
 
-	errc := make(chan error, *shards)
-	for i := 0; i < *shards; i++ {
+	errc := make(chan error, 64)
+	var serveMu sync.Mutex
+	nextShard := 0
+	serveShard := func() (int, string, error) {
+		serveMu.Lock()
+		defer serveMu.Unlock()
+		i := nextShard
 		cfg := cluster.LBConfig{
 			Mode: lbMode, SLO: deadline,
 			LightMinExec: env.Light.Latency.Latency(1) + env.Scorer.PerImageLatency(),
 			HeavyMinExec: env.Heavy.Latency.Latency(1),
 			Clock:        clock, Seed: *seed,
+			RNGStream: fmt.Sprintf("lb/%d", i),
 		}
-		if *shards > 1 {
-			cfg.RNGStream = fmt.Sprintf("lb/%d", i)
+		if *shards == 1 && i == 0 {
+			cfg.RNGStream = "" // classic single-LB stream name
 		}
 		lb := cluster.NewLBServer(cfg)
 		addr := fmt.Sprintf(":%d", *port+i)
-		fmt.Printf("diffserve-lb: shard %d on %s\n", i, addr)
 		switch *transport {
 		case "", "http":
-			go func(addr string, lb *cluster.LBServer) {
-				errc <- http.ListenAndServe(addr, lb.Mux())
-			}(addr, lb)
+			// Bind synchronously so an occupied port fails the caller
+			// (the admin /add-shard must not report an address that
+			// never came up), then serve in the background.
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				return 0, "", err
+			}
+			go func(ln net.Listener, lb *cluster.LBServer) {
+				errc <- http.Serve(ln, lb.Mux())
+			}(ln, lb)
 		case cluster.TransportTCP:
 			if _, err := cluster.ServeLBTCP(addr, lb); err != nil {
-				fatal(err)
+				return 0, "", err
 			}
 		default:
-			fatal(fmt.Errorf("unknown -transport %q (have http, tcp)", *transport))
+			return 0, "", fmt.Errorf("unknown -transport %q (have http, tcp)", *transport)
 		}
+		nextShard++
+		fmt.Printf("diffserve-lb: shard %d on %s\n", i, addr)
+		// Report a dialable address: ":port" only resolves to the
+		// right machine when the dialer shares this host, so
+		// multi-host layouts set -advertise.
+		return i, *advertise + addr, nil
+	}
+	for i := 0; i < *shards; i++ {
+		if _, _, err := serveShard(); err != nil {
+			fatal(err)
+		}
+	}
+	if *adminPort > 0 {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/add-shard", func(w http.ResponseWriter, r *http.Request) {
+			shard, addr, err := serveShard()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]interface{}{"shard": shard, "addr": addr})
+		})
+		go func() {
+			errc <- http.ListenAndServe(fmt.Sprintf(":%d", *adminPort), mux)
+		}()
+		fmt.Printf("diffserve-lb: admin API on :%d\n", *adminPort)
 	}
 	// Serve until the process is killed or an HTTP listener fails.
 	if err := <-errc; err != nil {

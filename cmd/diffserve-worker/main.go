@@ -16,6 +16,13 @@
 // within that shard — the multi-host layout runs one shard plus its
 // worker group per host with no cross-host data traffic.
 //
+// When the tier reshards (a ring epoch flip driven by the
+// controller's admin RPC), every pull response carries the new ring
+// epoch; a standalone worker logs the flip but keeps its static pin —
+// re-pinning standalone workers onto new shard addresses is the
+// operator's move (restart with the new -shard-addrs), while the
+// in-process harness re-pins automatically.
+//
 //	diffserve-worker -port 50051 -id 0 -lb http://localhost:8100 -cascade cascade1
 //	diffserve-worker -port 50051 -id 0 -lb localhost:8100 -transport tcp -codec binary
 //	diffserve-worker -port 50051 -id 3 -shard-addrs localhost:8100,localhost:8101 -transport tcp
@@ -75,6 +82,13 @@ func main() {
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy,
 		Scorer: env.Scorer, Clock: clock,
 		DisableLoadDelay: *fastLoad,
+		// A standalone worker cannot dial shards it was never told
+		// about, so an epoch flip is surfaced to the operator and the
+		// static pin kept (nil return).
+		RePin: func(epoch int) cluster.LBConn {
+			fmt.Printf("diffserve-worker %d: LB tier resharded to ring epoch %d; keeping static pin %s (restart with the new -shard-addrs to re-pin)\n", *id, epoch, lbAddr)
+			return nil
+		},
 	})
 	go ws.Loop(context.Background())
 

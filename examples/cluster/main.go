@@ -1,12 +1,16 @@
 // Cluster example: run the full DiffServe system as real networked
 // components — a sharded load-balancer tier (two LB shards
-// partitioning the query stream by ID hash), eight workers pinned to
-// their shards, and the MILP controller — wired over loopback
-// sockets, then replay a trace through the network data path at 10x
-// speed. The example uses the raw framed-TCP transport (persistent
+// partitioning the query stream on a consistent-hash ring), eight
+// workers pinned to their shards, and the MILP controller — wired
+// over loopback sockets, then replay a trace through the network data
+// path at 10x speed, growing the tier to three shards mid-trace: the
+// reshard installs a new ring epoch, workers re-pin off the epoch
+// their pull responses carry, and the controller re-stripes roles.
+// The example uses the raw framed-TCP transport (persistent
 // multiplexed connections, binary codec), the fastest wire path; swap
 // the Transport field for the HTTP or in-process alternatives, or set
-// LBShards to 1 for the classic single-balancer topology.
+// LBShards to 1 (and drop Reshard) for the classic single-balancer
+// topology.
 //
 //	go run ./examples/cluster
 package main
@@ -55,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("replaying %s through 2 LB shards + %d workers + controller over raw TCP with the binary codec (10x speed)...\n",
+	fmt.Printf("replaying %s through 2 LB shards (growing to 3 at t=60s) + %d workers + controller over raw TCP with the binary codec (10x speed)...\n",
 		tr.Name(), workers)
 	res, err := cluster.Run(cluster.HarnessConfig{
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
@@ -67,11 +71,17 @@ func main() {
 		// and cluster.TransportInproc (zero-serialization direct
 		// dispatch for maximum replay speed).
 		Transport: cluster.TransportTCP,
-		// Sharded LB tier: queries are partitioned by ID hash across
-		// two independent balancer shards; each worker pins to the
-		// shard (worker ID mod 2) and the client merges both result
-		// streams.
-		LBShards: 2,
+		// Sharded LB tier: queries are partitioned across independent
+		// balancer shards on a consistent-hash ring (128 virtual nodes
+		// per shard); each worker pins to its member of the current
+		// ring and the client merges every shard's result stream.
+		LBShards:   2,
+		RingVNodes: 128,
+		// Mid-trace resharding: at t=60s a third shard joins. The ring
+		// epoch flips atomically for submit batches, ~1/3 of the key
+		// space moves to the new shard, and the workers and role plan
+		// follow within a pull round trip.
+		Reshard: []cluster.ReshardEvent{{At: 60, Action: "add", Member: 2}},
 	})
 	if err != nil {
 		log.Fatal(err)

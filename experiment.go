@@ -26,20 +26,25 @@ type ExperimentConfig struct {
 	ClusterTransport string
 	// ClusterLBShards runs the sim-vs-cluster experiment's cluster
 	// side through the sharded LB tier with this many shards (0 or 1:
-	// the single-LB topology) and adds a single-vs-sharded outcome
-	// parity check.
+	// the single-LB topology) and adds single-vs-sharded and
+	// mid-trace-resharding outcome parity checks.
 	ClusterLBShards int
+	// ClusterRingVNodes selects the sharded tier's consistent-hash
+	// ring density (0 = legacy static modulus for the static runs;
+	// the resharding parity leg defaults to 128).
+	ClusterRingVNodes int
 }
 
 func (c ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{
-		Seed:             c.Seed,
-		Queries:          c.Queries,
-		Workers:          c.Workers,
-		TraceDuration:    c.TraceDurationSeconds,
-		Short:            c.Short,
-		ClusterTransport: c.ClusterTransport,
-		ClusterLBShards:  c.ClusterLBShards,
+		Seed:              c.Seed,
+		Queries:           c.Queries,
+		Workers:           c.Workers,
+		TraceDuration:     c.TraceDurationSeconds,
+		Short:             c.Short,
+		ClusterTransport:  c.ClusterTransport,
+		ClusterLBShards:   c.ClusterLBShards,
+		ClusterRingVNodes: c.ClusterRingVNodes,
 	}
 }
 

@@ -211,6 +211,7 @@ func (binaryCodec) Unmarshal(data []byte, v interface{}) error {
 		d.tag(tagConfigureLBRequest)
 		m.Threshold = d.f64()
 		m.SplitProb = d.f64()
+		m.RingEpoch = d.int()
 	case *WorkerStats:
 		d.tag(tagWorkerStats)
 		readWorkerStats(d, m)
@@ -302,20 +303,22 @@ func appendPullRequest(b []byte, m *PullRequest) []byte {
 	b = appendInt(b, m.WorkerID)
 	b = appendStr(b, m.Role)
 	b = appendInt(b, m.Max)
-	return appendF64(b, m.Wait)
+	b = appendF64(b, m.Wait)
+	return appendBool(b, m.Drain)
 }
 
 func appendPullResponse(b []byte, m *PullResponse) []byte {
 	b = append(b, tagPullResponse)
 	if m.Queries == nil {
-		return appendUint(b, 0)
+		b = appendUint(b, 0)
+	} else {
+		b = appendUint(b, uint64(len(m.Queries))+1)
+		for i := range m.Queries {
+			b = appendInt(b, m.Queries[i].ID)
+			b = appendF64(b, m.Queries[i].Arrival)
+		}
 	}
-	b = appendUint(b, uint64(len(m.Queries))+1)
-	for i := range m.Queries {
-		b = appendInt(b, m.Queries[i].ID)
-		b = appendF64(b, m.Queries[i].Arrival)
-	}
-	return b
+	return appendInt(b, m.RingEpoch)
 }
 
 func appendCompleteItem(b []byte, m *CompleteItem) []byte {
@@ -350,7 +353,8 @@ func appendConfigureWorker(b []byte, m *ConfigureWorkerRequest) []byte {
 func appendConfigureLB(b []byte, m *ConfigureLBRequest) []byte {
 	b = append(b, tagConfigureLBRequest)
 	b = appendF64(b, m.Threshold)
-	return appendF64(b, m.SplitProb)
+	b = appendF64(b, m.SplitProb)
+	return appendInt(b, m.RingEpoch)
 }
 
 func appendWorkerStats(b []byte, m *WorkerStats) []byte {
@@ -379,14 +383,15 @@ func appendLBStats(b []byte, m *LBStats) []byte {
 func appendSubmitRequest(b []byte, m *SubmitRequest) []byte {
 	b = append(b, tagSubmitRequest)
 	if m.Queries == nil {
-		return appendUint(b, 0)
+		b = appendUint(b, 0)
+	} else {
+		b = appendUint(b, uint64(len(m.Queries))+1)
+		for i := range m.Queries {
+			b = appendInt(b, m.Queries[i].ID)
+			b = appendF64(b, m.Queries[i].Arrival)
+		}
 	}
-	b = appendUint(b, uint64(len(m.Queries))+1)
-	for i := range m.Queries {
-		b = appendInt(b, m.Queries[i].ID)
-		b = appendF64(b, m.Queries[i].Arrival)
-	}
-	return b
+	return appendStr(b, m.Pool)
 }
 
 func appendResultsRequest(b []byte, m *ResultsRequest) []byte {
@@ -558,18 +563,20 @@ func readPullRequest(d *bdec, m *PullRequest) {
 	m.Role = d.str()
 	m.Max = d.int()
 	m.Wait = d.f64()
+	m.Drain = d.bool()
 }
 
 func readPullResponse(d *bdec, m *PullResponse) {
 	n := d.count()
 	if n < 0 {
 		m.Queries = nil
-		return
+	} else {
+		m.Queries = make([]QueryMsg, n)
+		for i := range m.Queries {
+			readQueryMsg(d, &m.Queries[i])
+		}
 	}
-	m.Queries = make([]QueryMsg, n)
-	for i := range m.Queries {
-		readQueryMsg(d, &m.Queries[i])
-	}
+	m.RingEpoch = d.int()
 }
 
 func readCompleteRequest(d *bdec, m *CompleteRequest) {
@@ -617,12 +624,13 @@ func readSubmitRequest(d *bdec, m *SubmitRequest) {
 	n := d.count()
 	if n < 0 {
 		m.Queries = nil
-		return
+	} else {
+		m.Queries = make([]QueryMsg, n)
+		for i := range m.Queries {
+			readQueryMsg(d, &m.Queries[i])
+		}
 	}
-	m.Queries = make([]QueryMsg, n)
-	for i := range m.Queries {
-		readQueryMsg(d, &m.Queries[i])
-	}
+	m.Pool = d.str()
 }
 
 func readResultsResponse(d *bdec, m *ResultsResponse) {

@@ -98,7 +98,10 @@ func TestCodecParityRandomized(t *testing.T) {
 		qr := randQueryResponse(rng)
 		checkParity(t, &qr, func() interface{} { return new(QueryResponse) })
 
-		pr := PullRequest{WorkerID: rng.Intn(64), Role: randString(rng), Max: rng.Intn(32), Wait: rng.Float64()}
+		pr := PullRequest{
+			WorkerID: rng.Intn(64), Role: randString(rng), Max: rng.Intn(32),
+			Wait: rng.Float64(), Drain: rng.Intn(2) == 0,
+		}
 		checkParity(t, &pr, func() interface{} { return new(PullRequest) })
 
 		var pq []QueryMsg
@@ -107,7 +110,7 @@ func TestCodecParityRandomized(t *testing.T) {
 				pq = append(pq, randQueryMsg(rng))
 			}
 		}
-		presp := PullResponse{Queries: pq}
+		presp := PullResponse{Queries: pq, RingEpoch: rng.Intn(8)}
 		checkParity(t, &presp, func() interface{} { return new(PullResponse) })
 
 		var items []CompleteItem
@@ -122,7 +125,7 @@ func TestCodecParityRandomized(t *testing.T) {
 		cw := ConfigureWorkerRequest{Role: randString(rng), Batch: rng.Intn(32)}
 		checkParity(t, &cw, func() interface{} { return new(ConfigureWorkerRequest) })
 
-		cl := ConfigureLBRequest{Threshold: rng.Float64(), SplitProb: rng.Float64()}
+		cl := ConfigureLBRequest{Threshold: rng.Float64(), SplitProb: rng.Float64(), RingEpoch: rng.Intn(8)}
 		checkParity(t, &cl, func() interface{} { return new(ConfigureLBRequest) })
 
 		ws := WorkerStats{
@@ -139,7 +142,7 @@ func TestCodecParityRandomized(t *testing.T) {
 		}
 		checkParity(t, &lbs, func() interface{} { return new(LBStats) })
 
-		sr := SubmitRequest{Queries: pq}
+		sr := SubmitRequest{Queries: pq, Pool: []string{"", "light", "heavy"}[rng.Intn(3)]}
 		checkParity(t, &sr, func() interface{} { return new(SubmitRequest) })
 
 		rr := ResultsRequest{Max: rng.Intn(1024), Wait: rng.Float64() * 2}

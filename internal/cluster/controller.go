@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 
 	"diffserve/internal/allocator"
@@ -22,21 +23,37 @@ type ControllerConfig struct {
 	Mode loadbalancer.Mode
 	// Clock provides trace time.
 	Clock *Clock
-	// Shards is the LB shard count (0 or 1: single LB). Worker i is
-	// pinned to shard i mod Shards — the harness and the cmd wiring
-	// both use that mapping — and role assignment then stripes each
-	// plan across the shard-pinned worker groups so every shard keeps
-	// at least one worker of every role the plan uses: a shard whose
-	// partition of the query stream has no light (or no heavy) worker
-	// would starve, which a global plan never intends.
+	// Shards is the initial LB shard count (0 or 1: single LB).
+	// Worker i is pinned to shard group i mod Shards — the harness
+	// and the cmd wiring both use that mapping — and role assignment
+	// then stripes each plan across the shard-pinned worker groups so
+	// every shard keeps at least one worker of every role the plan
+	// uses: a shard whose partition of the query stream has no light
+	// (or no heavy) worker would starve, which a global plan never
+	// intends. Resharding updates the count at runtime via SetShards.
 	Shards int
 }
 
 // ControllerLoop polls runtime statistics, re-solves allocation, and
 // pushes plans — the cluster analogue of the simulator's control tick.
 type ControllerLoop struct {
-	cfg      ControllerConfig
+	cfg ControllerConfig
+	// mu serializes control ticks and plan applications: the periodic
+	// Run loop and the resharding driver's Restripe may otherwise
+	// interleave, racing the assignment cache and the controller's
+	// demand estimator.
+	mu       sync.Mutex
 	lastTick float64
+	// lastPlan caches the most recently applied plan so Restripe can
+	// re-stripe it across a changed shard layout without polling stats
+	// (a second poll would reset the since-tick counters and feed the
+	// demand EWMA a phantom near-zero sample).
+	lastPlan allocator.Plan
+	hasPlan  bool
+	// shards tracks the current LB shard count; resharding updates it
+	// via SetShards and the next Apply re-stripes roles across the
+	// new shard-pinned worker groups.
+	shards atomic.Int32
 	// assigned caches the last role pushed to each worker so ticks do
 	// not need a per-worker stats round-trip.
 	assigned []string
@@ -44,7 +61,18 @@ type ControllerLoop struct {
 
 // NewControllerLoop constructs the control loop.
 func NewControllerLoop(cfg ControllerConfig) *ControllerLoop {
-	return &ControllerLoop{cfg: cfg}
+	c := &ControllerLoop{cfg: cfg}
+	c.shards.Store(int32(cfg.Shards))
+	return c
+}
+
+// SetShards updates the shard count the role striping targets — the
+// resharding path calls it when LB membership changes so worker i's
+// group becomes i mod the new count, matching the re-pinned layout.
+func (c *ControllerLoop) SetShards(n int) {
+	if n >= 1 {
+		c.shards.Store(int32(n))
+	}
 }
 
 // Plans returns the plans applied so far.
@@ -76,6 +104,8 @@ func (c *ControllerLoop) TickOnce(ctx context.Context) {
 	if err != nil {
 		return // transient poll failure: keep the previous plan
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	elapsed := lbStats.Now - c.lastTick
 	c.lastTick = lbStats.Now
 	plan, err := c.cfg.Ctrl.Tick(lbStats.Now, controller.TickInput{
@@ -90,12 +120,33 @@ func (c *ControllerLoop) TickOnce(ctx context.Context) {
 	if err != nil {
 		return
 	}
-	c.Apply(ctx, plan)
+	c.applyLocked(ctx, plan)
+}
+
+// Restripe re-applies the last plan across the current shard layout —
+// the resharding path's way to give a membership change workers
+// immediately without waiting out the control interval. Unlike a full
+// tick it does not poll stats, so the since-tick counters and the
+// demand estimate are left untouched.
+func (c *ControllerLoop) Restripe(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hasPlan {
+		c.applyLocked(ctx, c.lastPlan)
+	}
 }
 
 // Apply pushes a plan to the LB and workers. Worker role assignment
 // prefers keeping existing roles to minimize model reloads.
 func (c *ControllerLoop) Apply(ctx context.Context, plan allocator.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.applyLocked(ctx, plan)
+}
+
+// applyLocked is Apply's core. Callers hold mu.
+func (c *ControllerLoop) applyLocked(ctx context.Context, plan allocator.Plan) {
+	c.lastPlan, c.hasPlan = plan, true
 	// Configure the LB policy first so new completions observe the
 	// fresh threshold.
 	split := 0.0
@@ -126,7 +177,7 @@ func (c *ControllerLoop) Apply(ctx context.Context, plan allocator.Plan) {
 	}
 
 	var next []string
-	if shards := c.cfg.Shards; shards > 1 {
+	if shards := int(c.shards.Load()); shards > 1 {
 		// Sharded LB tier: stripe the plan across the shard-pinned
 		// worker groups (worker i serves shard i mod shards) so each
 		// shard's partition of the query stream keeps both roles.

@@ -39,14 +39,14 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	seeds := []interface{}{
 		&QueryMsg{ID: 7, Arrival: 12.5},
 		&QueryResponse{ID: 9, Variant: "sdturbo", Features: []float64{1, 2}, Confidence: 0.875, Deferred: true},
-		&PullRequest{WorkerID: 3, Role: "light", Max: 8, Wait: 0.25},
-		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}},
+		&PullRequest{WorkerID: 3, Role: "light", Max: 8, Wait: 0.25, Drain: true},
+		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}, RingEpoch: 3},
 		&CompleteRequest{WorkerID: 1, Role: "heavy", Items: []CompleteItem{{ID: 4, Variant: "sdv15", Features: []float64{3}}}},
 		&ConfigureWorkerRequest{Role: "light", Batch: 8},
-		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25},
+		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25, RingEpoch: 2},
 		&WorkerStats{ID: 2, Role: "heavy", Batch: 4, Busy: true, Batches: 10, Queries: 40},
 		&LBStats{Now: 100, LightQueueLen: 3, Completed: 50},
-		&SubmitRequest{Queries: []QueryMsg{{ID: 5, Arrival: 1}}},
+		&SubmitRequest{Queries: []QueryMsg{{ID: 5, Arrival: 1}}, Pool: "heavy"},
 		&ResultsRequest{Max: 64, Wait: 2},
 		&ResultsResponse{Results: []QueryResponse{{ID: 6, Variant: "sdturbo"}}},
 	}

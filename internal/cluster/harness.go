@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,12 +53,33 @@ type HarnessConfig struct {
 	// failures mid-run.
 	TransportImpl Transport
 	// LBShards runs the sharded LB tier: the query stream is
-	// partitioned by ID hash across this many independent LBServer
-	// shards (each with its own RNG stream "lb/<shard>"), worker i is
-	// pinned to shard i mod LBShards, and the client plus controller
-	// speak to a ShardedLB frontend. 0 or 1 runs the single-LB
-	// topology.
+	// partitioned across this many independent LBServer shards (each
+	// with its own RNG stream "lb/<shard>"), worker i is pinned to
+	// shard i mod LBShards, and the client plus controller speak to a
+	// ShardedLB frontend. 0 or 1 runs the single-LB topology (unless
+	// Reshard events are present, which force the frontend).
 	LBShards int
+	// RingVNodes selects the tier's placement exactly as
+	// ShardedLBConfig.VNodes does: 0 keeps the legacy static modulus
+	// (bit-identical to ShardOf), > 0 partitions by consistent-hash
+	// ring — required for minimal-disruption resharding.
+	RingVNodes int
+	// Reshard schedules mid-trace membership changes: at each event's
+	// trace time the harness adds a fresh shard (a new LBServer +
+	// worker re-pin + role re-stripe) or removes one (draining its
+	// queued work to the survivors). Events run in At order.
+	Reshard []ReshardEvent
+}
+
+// ReshardEvent is one scheduled membership change in a harness run.
+type ReshardEvent struct {
+	// At is the trace time (seconds) the change applies.
+	At float64
+	// Action is "add" or "remove".
+	Action string
+	// Member is the ring member ID to add or remove. Added members
+	// must be fresh IDs (never used before in the run).
+	Member int
 }
 
 func (c *HarnessConfig) validate() error {
@@ -74,6 +96,14 @@ func (c *HarnessConfig) validate() error {
 		return fmt.Errorf("cluster: controller required")
 	case c.Scorer == nil && c.Mode == loadbalancer.ModeCascade:
 		return fmt.Errorf("cluster: scorer required in cascade mode")
+	}
+	for _, ev := range c.Reshard {
+		if ev.Action != "add" && ev.Action != "remove" {
+			return fmt.Errorf("cluster: reshard action %q (have add, remove)", ev.Action)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("cluster: reshard event at negative trace time %g", ev.At)
+		}
 	}
 	return nil
 }
@@ -121,36 +151,55 @@ func Run(cfg HarnessConfig) (*Result, error) {
 		discLat = cfg.Scorer.PerImageLatency()
 	}
 	// One LBServer per shard (one shard: the classic topology). Each
-	// shard draws routing randomness from its own stream "lb/<i>" of
-	// the run seed, so per-shard behavior is deterministic and
-	// independent of the shard count of other runs.
+	// shard draws routing randomness from its own stream "lb/<member>"
+	// of the run seed, so per-shard behavior is deterministic and
+	// independent of the shard count of other runs — and of when the
+	// shard joined.
 	shardCount := cfg.LBShards
 	if shardCount <= 0 {
 		shardCount = 1
 	}
-	lbs := make([]*LBServer, shardCount)
-	shardConns := make([]LBConn, shardCount)
-	for i := range lbs {
+	// Reshard events need the frontend even over one initial shard.
+	useFrontend := shardCount > 1 || len(cfg.Reshard) > 0
+	newShardServer := func(member int) *LBServer {
 		lbCfg := LBConfig{
 			Mode: cfg.Mode, SLO: cfg.SLO,
 			LightMinExec: cfg.Light.Latency.Latency(1) + discLat,
 			HeavyMinExec: cfg.Heavy.Latency.Latency(1),
 			Clock:        clock, Seed: cfg.Seed,
 		}
-		if shardCount > 1 {
-			lbCfg.RNGStream = fmt.Sprintf("lb/%d", i)
+		// Every shard of a sharded (or reshardable) tier draws from
+		// its member's own stream, so shards added mid-run stay
+		// decorrelated from the survivors; only the classic single-LB
+		// topology keeps the default "lb" stream.
+		if useFrontend {
+			lbCfg.RNGStream = fmt.Sprintf("lb/%d", member)
 		}
-		lbs[i] = NewLBServer(lbCfg)
+		return NewLBServer(lbCfg)
+	}
+	// servers tracks every LBServer the run ever creates — including
+	// shards added or retired mid-trace — for the end-of-run drain and
+	// the collector merge.
+	var serverMu sync.Mutex
+	var servers []*LBServer
+	shardConns := make([]LBConn, shardCount)
+	for i := 0; i < shardCount; i++ {
+		lb := newShardServer(i)
+		servers = append(servers, lb)
 		var err error
-		if shardConns[i], err = tp.ServeLB(lbs[i]); err != nil {
+		if shardConns[i], err = tp.ServeLB(lb); err != nil {
 			return nil, err
 		}
 	}
 	var lbConn LBConn
-	if shardCount == 1 {
+	var frontend *ShardedLB
+	if !useFrontend {
 		lbConn = shardConns[0]
 	} else {
-		frontend, err := NewShardedLB(ShardedLBConfig{Shards: shardConns, Clock: clock})
+		var err error
+		frontend, err = NewShardedLB(ShardedLBConfig{
+			Shards: shardConns, Clock: clock, VNodes: cfg.RingVNodes,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +233,7 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	}
 	workerConns := make([]WorkerConn, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		ws := NewWorkerServer(WorkerConfig{
+		wCfg := WorkerConfig{
 			// Workers pin themselves to their shard's LB: pulls,
 			// completes, and deferrals all stay within the shard that
 			// owns their queries.
@@ -192,7 +241,22 @@ func Run(cfg HarnessConfig) (*Result, error) {
 			Space: cfg.Space, Light: cfg.Light, Heavy: cfg.Heavy,
 			Scorer: scorer, Clock: clock,
 			DisableLoadDelay: cfg.DisableLoadDelay,
-		})
+		}
+		if frontend != nil {
+			// Dynamic membership: when a pull response carries a newer
+			// ring epoch, worker i re-pins to the i-th member (mod N)
+			// of the current ring — the same mapping the controller's
+			// role striping assumes.
+			id := i
+			wCfg.RePin = func(epoch int) LBConn {
+				ms := frontend.Members()
+				if len(ms) == 0 {
+					return nil
+				}
+				return frontend.MemberConn(ms[id%len(ms)])
+			}
+		}
+		ws := NewWorkerServer(wCfg)
 		var err error
 		if workerConns[i], err = tp.ServeWorker(ws); err != nil {
 			return nil, err
@@ -226,6 +290,50 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	// Setup is done (servers up, initial plan applied): rewind trace
 	// time so setup cost does not eat into the replay.
 	clock.Restart()
+
+	// Reshard driver: apply the scheduled membership changes at their
+	// trace times. Each change installs a new ring epoch on the
+	// frontend (adding a freshly served LBServer or retiring one),
+	// updates the role-striping shard count, and forces an immediate
+	// control tick so the new layout gets workers without waiting out
+	// the control interval. A failed reshard is a configuration bug
+	// and aborts the run like a fatal transport failure would.
+	reshardFailed := make(chan error, 1)
+	if len(cfg.Reshard) > 0 {
+		events := append([]ReshardEvent(nil), cfg.Reshard...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+		go func() {
+			for _, ev := range events {
+				if !clock.SleepTraceCtx(ctx, ev.At-clock.Now()) {
+					return
+				}
+				var err error
+				switch ev.Action {
+				case "add":
+					lb := newShardServer(ev.Member)
+					var conn LBConn
+					if conn, err = tp.ServeLB(lb); err == nil {
+						serverMu.Lock()
+						servers = append(servers, lb)
+						serverMu.Unlock()
+						err = frontend.AddShard(ctx, ev.Member, conn)
+					}
+				case "remove":
+					err = frontend.RemoveShard(ctx, ev.Member)
+				}
+				if err != nil {
+					select {
+					case reshardFailed <- fmt.Errorf("cluster: reshard %s %d at t=%g: %w", ev.Action, ev.Member, ev.At, err):
+					default:
+					}
+					cancel()
+					return
+				}
+				loop.SetShards(frontend.Shards())
+				loop.Restripe(ctx)
+			}
+		}()
+	}
 
 	// Replay the trace over the batched async submit path: one
 	// submitter goroutine groups queries that are due together into a
@@ -276,7 +384,10 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	// transport failure aborts the wait immediately.
 	var transportErr error
 	drainAll := func() {
-		for _, lb := range lbs {
+		serverMu.Lock()
+		all := append([]*LBServer(nil), servers...)
+		serverMu.Unlock()
+		for _, lb := range all {
 			lb.DrainRemaining()
 		}
 	}
@@ -285,11 +396,13 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	select {
 	case <-done:
 	case transportErr = <-tpFailed:
+	case transportErr = <-reshardFailed:
 	case <-time.After(clock.WallDuration(horizon)):
 		drainAll()
 		select {
 		case <-done:
 		case transportErr = <-tpFailed:
+		case transportErr = <-reshardFailed:
 		case <-time.After(clock.WallDuration(grace) + 2*time.Second):
 		}
 	}
@@ -301,6 +414,10 @@ func Run(cfg HarnessConfig) (*Result, error) {
 		select {
 		case transportErr = <-tpFailed:
 		default:
+			select {
+			case transportErr = <-reshardFailed:
+			default:
+			}
 		}
 	}
 	if transportErr != nil {
@@ -311,12 +428,16 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: building FID reference: %w", err)
 	}
-	col := lbs[0].Collector()
-	if shardCount > 1 {
-		// Merge the per-shard collectors into one run-level view. The
-		// run is over: no shard is recording anymore.
+	serverMu.Lock()
+	allServers := append([]*LBServer(nil), servers...)
+	serverMu.Unlock()
+	col := allServers[0].Collector()
+	if len(allServers) > 1 {
+		// Merge the per-shard collectors — retired shards included —
+		// into one run-level view. The run is over: no shard is
+		// recording anymore.
 		col = metrics.NewCollector()
-		for _, lb := range lbs {
+		for _, lb := range allServers {
 			col.Merge(lb.Collector())
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diffserve/internal/loadbalancer"
@@ -91,6 +92,11 @@ func (p *lbPool) push(now float64, items ...queueing.Item) bool {
 // guarded by resMu, and the random-split routing state by splitMu.
 type LBServer struct {
 	cfg LBConfig
+
+	// ringEpoch is the sharded tier's ring epoch this server last
+	// learned via Configure (monotonic). It is echoed in every
+	// PullResponse so shard-pinned workers notice membership changes.
+	ringEpoch atomic.Int64
 
 	// pools is indexed by loadbalancer.PoolID (PoolLight, PoolHeavy).
 	pools [2]lbPool
@@ -266,6 +272,31 @@ func (s *LBServer) Submit(ctx context.Context, q QueryMsg) (resp QueryResponse, 
 // SubmitBatch admits queries asynchronously: each will eventually
 // surface exactly one result (completion or drop) via PollResults.
 func (s *LBServer) SubmitBatch(qs []QueryMsg) {
+	s.submitBatch(qs, "")
+}
+
+// SubmitBatchReq admits a SubmitRequest, honoring its Pool override —
+// the transport handlers' entry point, so a migration re-queue
+// arriving over any wire lands in the pool it was drained from. Pool
+// is wire-facing: anything but the two known pool names degrades to
+// a normal policy-routed (and demand-counted) admission rather than
+// silently picking a pool for a value the peer mistyped.
+func (s *LBServer) SubmitBatchReq(req SubmitRequest) {
+	pool := req.Pool
+	if pool != "light" && pool != "heavy" {
+		pool = ""
+	}
+	s.submitBatch(req.Queries, pool)
+}
+
+// submitBatch is the admission core. pool "" is a normal arrival:
+// routed by policy and counted in the demand counters. A non-empty
+// pool is a resharding migration re-queue: the queries go straight to
+// that pool (a drained deferral keeps its place in the cascade) and
+// the arrival counters stay untouched — they were already counted at
+// the shard the queries first arrived on, which the merged Stats
+// still sums.
+func (s *LBServer) submitBatch(qs []QueryMsg, pool string) {
 	if len(qs) == 0 {
 		return
 	}
@@ -279,14 +310,24 @@ func (s *LBServer) SubmitBatch(qs []QueryMsg) {
 	s.resMu.Lock()
 	for _, q := range qs {
 		s.async[q.ID] = struct{}{}
-		s.arrivals++
+		if pool == "" {
+			s.arrivals++
+		}
 	}
 	s.resMu.Unlock()
 
-	if s.cfg.Mode != loadbalancer.ModeRandomSplit {
-		// Single-destination modes: push the whole batch under one
-		// pool lock with no per-query routing state or allocation.
-		p := &s.pools[s.routePool()]
+	if pool != "" || s.cfg.Mode != loadbalancer.ModeRandomSplit {
+		// Single-destination admissions (every policy but random
+		// split, and all pool overrides): push the whole batch under
+		// one pool lock with no per-query routing state or allocation.
+		dest := loadbalancer.PoolLight
+		switch {
+		case pool == "heavy":
+			dest = loadbalancer.PoolHeavy
+		case pool == "":
+			dest = s.routePool()
+		}
+		p := &s.pools[dest]
 		p.mu.Lock()
 		if p.draining {
 			p.mu.Unlock()
@@ -393,7 +434,7 @@ func (s *LBServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.SubmitBatch(req.Queries)
+	s.SubmitBatchReq(req)
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -418,6 +459,10 @@ func (s *LBServer) handleResults(w http.ResponseWriter, r *http.Request) {
 // Pulls only touch their own pool's lock, so light and heavy dispatch
 // proceed concurrently.
 func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
+	if req.Drain {
+		return s.drainPull(req)
+	}
+	epoch := int(s.ringEpoch.Load())
 	p := s.pool(req.Role)
 	var deadline time.Time
 	if req.Wait > 0 {
@@ -444,18 +489,18 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 			s.resMu.Unlock()
 		}
 		if len(items) > 0 {
-			resp := PullResponse{Queries: make([]QueryMsg, len(items))}
+			resp := PullResponse{Queries: make([]QueryMsg, len(items)), RingEpoch: epoch}
 			for i, it := range items {
 				resp.Queries[i] = QueryMsg{ID: it.ID, Arrival: it.Arrival}
 			}
 			return resp
 		}
 		if req.Wait <= 0 {
-			return PullResponse{}
+			return PullResponse{RingEpoch: epoch}
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return PullResponse{}
+			return PullResponse{RingEpoch: epoch}
 		}
 		// Sleep until new work arrives, the head's coalesce window
 		// expires, or the long-poll deadline — whichever is first.
@@ -472,12 +517,64 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return PullResponse{}
+			return PullResponse{RingEpoch: epoch}
 		case <-wake:
 			t.Stop()
 		case <-t.C:
 		}
 	}
+}
+
+// drainPull is the resharding path's ownership transfer (see
+// PullRequest.Drain): it pops up to req.Max queued queries from the
+// pool with no shedding and no coalescing, forgets their async
+// registrations, and hands them to the caller for re-submission to
+// their new owning shard. A query with a blocking waiter stays here
+// and resolves as a drop (its client is parked on this server's
+// Submit); a query with no live registration was already resolved by
+// a racing drop and is silently discarded — returning it would let
+// the re-submission resolve it a second time.
+func (s *LBServer) drainPull(req PullRequest) PullResponse {
+	epoch := int(s.ringEpoch.Load())
+	max := req.Max
+	if max <= 0 {
+		max = 256
+	}
+	now := s.cfg.Clock.Now()
+	p := s.pool(req.Role)
+	resp := PullResponse{RingEpoch: epoch}
+	// An empty response means "this pool is drained": a popped round
+	// whose items all turn out non-migratable (waiter-backed, or
+	// already resolved by a racing drop) must not end the caller's
+	// drain loop while queries still sit in the queue, so keep
+	// popping until a round yields something migratable or the queue
+	// is empty.
+	for len(resp.Queries) == 0 {
+		p.mu.Lock()
+		n := p.q.Len()
+		if n > max {
+			n = max
+		}
+		items := p.q.Pop(now, n)
+		p.mu.Unlock()
+		if len(items) == 0 {
+			return resp
+		}
+		s.resMu.Lock()
+		for _, it := range items {
+			if _, ok := s.async[it.ID]; ok {
+				delete(s.async, it.ID)
+				resp.Queries = append(resp.Queries, QueryMsg{ID: it.ID, Arrival: it.Arrival})
+				continue
+			}
+			if _, ok := s.waiters[it.ID]; ok {
+				s.dropLocked(it.ID, it.Arrival)
+			}
+		}
+		s.flushResultsLocked()
+		s.resMu.Unlock()
+	}
+	return resp
 }
 
 // dequeuePool sheds expired queries, then dequeues a batch if one is
@@ -534,7 +631,13 @@ func (s *LBServer) Complete(req CompleteRequest) {
 	threshold := s.threshold
 	for _, item := range req.Items {
 		if cascadeLight && item.Confidence < threshold {
-			deferred = append(deferred, queueing.Item{ID: item.ID, Arrival: item.Arrival})
+			// Only live queries defer: the resharding fan-out delivers
+			// completions to every epoch's owner, so a shard that never
+			// held (or already migrated away) this query must not
+			// enqueue a phantom copy in its heavy pool.
+			if s.liveLocked(item.ID) {
+				deferred = append(deferred, queueing.Item{ID: item.ID, Arrival: item.Arrival})
+			}
 			continue
 		}
 		s.completeLocked(item, now, req.Role == "heavy")
@@ -657,8 +760,16 @@ func (s *LBServer) flushResultsLocked() {
 	}
 }
 
-// Configure updates threshold / split probability.
+// Configure updates threshold / split probability, and adopts the
+// ring epoch monotonically: a stale broadcast racing a reshard cannot
+// regress the epoch workers observe in their pull responses.
 func (s *LBServer) Configure(req ConfigureLBRequest) {
+	for {
+		cur := s.ringEpoch.Load()
+		if int64(req.RingEpoch) <= cur || s.ringEpoch.CompareAndSwap(cur, int64(req.RingEpoch)) {
+			break
+		}
+	}
 	s.resMu.Lock()
 	s.threshold = req.Threshold
 	s.resMu.Unlock()

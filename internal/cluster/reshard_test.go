@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diffserve/internal/loadbalancer"
+	"diffserve/internal/trace"
+)
+
+// TestHarnessReshardTopology replays a lightly loaded trace through a
+// 2-shard TCP topology that grows to 3 shards and shrinks back to 2
+// mid-trace, and requires the same loss-free outcome a static
+// topology produces: every query resolves exactly once, none drop.
+// The run covers the full resharding protocol end to end — epoch
+// flips, worker re-pinning off pull responses, controller
+// re-striping, the drain migration of the removed shard's queued
+// work, and the retired-shard straggler sweeps.
+func TestHarnessReshardTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reshard harness skipped in -short mode")
+	}
+	f := newFixtures(t)
+	tr, err := trace.Static(4, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(HarnessConfig{
+		Space: f.space, Light: f.light, Heavy: f.heavy, Scorer: f.scorer,
+		Mode: loadbalancer.ModeCascade, Workers: 9, SLO: 5,
+		Trace: tr, Ctrl: f.controller(t, 9, 5),
+		Timescale: 0.05, Seed: 4242, DisableLoadDelay: true,
+		Transport: TransportTCP, LBShards: 2, RingVNodes: 128,
+		Reshard: []ReshardEvent{
+			{At: 12, Action: "add", Member: 2},
+			{At: 26, Action: "remove", Member: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.Len() != res.Queries {
+		t.Errorf("recorded %d of %d queries", res.Collector.Len(), res.Queries)
+	}
+	sum := res.Summary()
+	if sum.DropRatio != 0 {
+		t.Errorf("reshard run dropped %.3f under light load", sum.DropRatio)
+	}
+	ids := map[int]bool{}
+	for _, r := range res.Collector.Records() {
+		if ids[r.ID] {
+			t.Errorf("query %d recorded twice", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	t.Logf("reshard harness: %d queries, FID=%.2f viol=%.3f wall=%.1fs",
+		sum.Queries, sum.FID, sum.ViolationRatio, res.WallSeconds)
+}
+
+// TestReshardChaosNoLostOrDoubleResolve is the resharding soak: while
+// batch submitters, shard-pinned pull/complete workers, frontend
+// sweep workers, and merged-result pollers all race, a chaos driver
+// adds and removes shards — ending on a membership that shares no
+// member with the starting one. Every query must resolve exactly
+// once: zero lost (a migrated or straggler query that never
+// resolves), zero double-resolved (a stale registration surviving a
+// migration and resolving a second time). It extends
+// TestDrainCompleteRaceNoDoubleResolve's idempotency guarantees to
+// epoch flips and drain migration, and runs in -short mode on
+// purpose: the verify script's race-reshard leg executes it under
+// -race.
+func TestReshardChaosNoLostOrDoubleResolve(t *testing.T) {
+	const (
+		submitters = 3
+		batches    = 30
+		batchSize  = 8
+		total      = submitters * batches * batchSize
+	)
+	clock := NewClock(1e-5)
+	newShard := func(member int) (*LBServer, LBConn) {
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 1e9,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: clock, Seed: 1, RNGStream: fmt.Sprintf("lb/%d", member),
+			CoalesceWait: 1e-9,
+		})
+		return lb, NewLocalLBConn(lb)
+	}
+	servers := map[int]*LBServer{}
+	lb0, conn0 := newShard(0)
+	lb1, conn1 := newShard(1)
+	servers[0], servers[1] = lb0, lb1
+	fe, err := NewShardedLB(ShardedLBConfig{
+		Shards: []LBConn{conn0, conn1}, Clock: clock, VNodes: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	fe.Configure(context.Background(), ConfigureLBRequest{Threshold: 0.5})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var resolved atomic.Int64
+	var wg sync.WaitGroup
+
+	// Merged-result pollers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for resolved.Load() < total && ctx.Err() == nil {
+				resp, err := fe.PollResults(ctx, ResultsRequest{Max: 64, Wait: 50})
+				if err != nil {
+					return
+				}
+				resolved.Add(int64(len(resp.Results)))
+			}
+		}()
+	}
+
+	complete := func(conn LBConn, role string, qs []QueryMsg) {
+		items := make([]CompleteItem, len(qs))
+		for i, q := range qs {
+			conf := 0.9
+			if role == "light" && q.ID%2 == 0 {
+				conf = 0.1 // defers to the owning shard's heavy pool
+			}
+			items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: role, Confidence: conf}
+		}
+		_ = conn.Complete(ctx, CompleteRequest{Role: role, Items: items})
+	}
+	// Shard-pinned workers that re-consult the membership each round —
+	// the cluster layout's analogue of RePin. Completions go back to
+	// the conn the batch was pulled from, retired or not.
+	for w := 0; w < 2; w++ {
+		for _, role := range []string{"light", "heavy"} {
+			wg.Add(1)
+			go func(w int, role string) {
+				defer wg.Done()
+				for resolved.Load() < total && ctx.Err() == nil {
+					ms := fe.Members()
+					conn := fe.MemberConn(ms[w%len(ms)])
+					if conn == nil {
+						continue
+					}
+					resp, err := conn.Pull(ctx, PullRequest{Role: role, Max: batchSize, Wait: 20})
+					if err != nil || len(resp.Queries) == 0 {
+						continue
+					}
+					complete(conn, role, resp.Queries)
+				}
+			}(w, role)
+		}
+	}
+	// Frontend sweep workers: their completions route by the epoch
+	// fan-out, the path a reshard races hardest.
+	for _, role := range []string{"light", "heavy"} {
+		wg.Add(1)
+		go func(role string) {
+			defer wg.Done()
+			for resolved.Load() < total && ctx.Err() == nil {
+				resp, err := fe.Pull(ctx, PullRequest{Role: role, Max: batchSize, Wait: 20})
+				if err != nil || len(resp.Queries) == 0 {
+					continue
+				}
+				complete(fe, role, resp.Queries)
+			}
+		}(role)
+	}
+
+	// Submitters race the chaos driver below.
+	for sIdx := 0; sIdx < submitters; sIdx++ {
+		wg.Add(1)
+		go func(sIdx int) {
+			defer wg.Done()
+			base := sIdx * batches * batchSize
+			for b := 0; b < batches; b++ {
+				qs := make([]QueryMsg, batchSize)
+				for i := range qs {
+					qs[i] = QueryMsg{ID: base + b*batchSize + i}
+				}
+				if err := fe.SubmitBatch(ctx, SubmitRequest{Queries: qs}); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(sIdx)
+	}
+
+	// Chaos driver: grow to {0,1,2}, drop 0, grow to {1,2,3}, drop 1 —
+	// the final membership shares nothing with the starting one, so
+	// every key has migrated at least once.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step := func(f func() error) bool {
+			time.Sleep(2 * time.Millisecond)
+			if ctx.Err() != nil {
+				return false
+			}
+			if err := f(); err != nil {
+				t.Errorf("chaos reshard: %v", err)
+				return false
+			}
+			return true
+		}
+		lb2, conn2 := newShard(2)
+		servers[2] = lb2
+		if !step(func() error { return fe.AddShard(ctx, 2, conn2) }) {
+			return
+		}
+		if !step(func() error { return fe.RemoveShard(ctx, 0) }) {
+			return
+		}
+		lb3, conn3 := newShard(3)
+		servers[3] = lb3
+		if !step(func() error { return fe.AddShard(ctx, 3, conn3) }) {
+			return
+		}
+		if !step(func() error { return fe.RemoveShard(ctx, 1) }) {
+			return
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		cancel()
+		t.Fatalf("reshard chaos wedged: resolved %d of %d (lost queries)", resolved.Load(), total)
+	}
+	if got := resolved.Load(); got != total {
+		t.Fatalf("resolved %d of %d queries", got, total)
+	}
+	if got, want := fmt.Sprint(fe.Members()), fmt.Sprint([]int{2, 3}); got != want {
+		t.Errorf("final membership %s, want %s", got, want)
+	}
+	if fe.Epoch() != 4 {
+		t.Errorf("final epoch %d, want 4", fe.Epoch())
+	}
+
+	// Exactly-once accounting across every shard that ever existed:
+	// each ID recorded exactly once, nothing dropped (unbounded SLO,
+	// no blocking waiters), merged counters balance.
+	st, err := fe.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != total || st.Dropped != 0 {
+		t.Errorf("merged accounting: completed %d dropped %d, want %d / 0", st.Completed, st.Dropped, total)
+	}
+	seen := map[int]int{}
+	recorded := 0
+	for member, lb := range servers {
+		for _, rec := range lb.Collector().Records() {
+			if rec.Dropped {
+				t.Errorf("query %d dropped on member %d", rec.ID, member)
+			}
+			seen[rec.ID]++
+			recorded++
+		}
+	}
+	if recorded != total {
+		t.Errorf("collectors recorded %d of %d", recorded, total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("query %d recorded %d times (double resolve)", id, n)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,32 +14,63 @@ import (
 )
 
 // This file implements the sharded load-balancer tier: a frontend
-// that partitions the query stream by ID hash across N independent
-// LBServer shards, each reachable through any Transport (inproc,
-// http, tcp). One LBServer process tops out on its result lock and
-// admission path long before "millions of users" arrival rates;
-// partitioning query IDs across shards multiplies the admission and
-// result throughput without any new wire messages — the frontend
-// speaks the existing LBConn verbs to each shard.
+// that partitions the query stream across N independent LBServer
+// shards, each reachable through any Transport (inproc, http, tcp).
+// One LBServer process tops out on its result lock and admission path
+// long before "millions of users" arrival rates; partitioning query
+// IDs across shards multiplies the admission and result throughput
+// without any new wire messages — the frontend speaks the existing
+// LBConn verbs to each shard.
 //
-// The partition is loadbalancer.ShardOf, a pure hash of the query ID:
-// every component (frontend, workers, tests, other processes)
-// computes the owning shard locally and deterministically, so a
+// Placement is a loadbalancer.Ring — a versioned consistent-hash ring
+// over the shard membership. Every process computes the owning shard
+// locally and deterministically from (members, vnodes), so a
 // multi-host layout — one LB shard plus a worker group per host —
-// needs no coordination service. Workers pin themselves to a shard by
-// dialing it directly with DialLB; the frontend's Pull exists for
-// workers that want to serve all shards.
+// needs no coordination service. With VNodes == 0 the epoch-0 ring is
+// the legacy static modulus (bit-identical to loadbalancer.ShardOf),
+// so fixed-N deployments keep their exact assignment.
+//
+// Membership is a runtime property. Resharding installs a new ring
+// epoch: new submits atomically flip to the new ring (an RWMutex
+// write barrier — a batch in flight lands entirely in the epoch it
+// started under), queued queries owned by departing shards are
+// drain-pulled back through the frontend and re-submitted to their
+// new owners (PullRequest.Drain transfers ownership, so the move is
+// exactly-once), and completions fan out to each epoch's owner —
+// the idempotent complete/drop machinery makes the extra deliveries
+// no-ops. Removed shards stay reachable as "retired" conns: their
+// result pumps keep running and a background sweeper re-routes
+// stragglers (e.g. a deferral pushed by a worker that had not yet
+// re-pinned), so nothing a retired shard still holds is ever lost.
+// Workers observe the flip through the ring-epoch field every pull
+// response carries and re-pin via their RePin hook.
 
 // shardPullSlice bounds, in trace seconds, how long a frontend Pull
 // parks on one shard before re-sweeping the others for work.
 const shardPullSlice = 0.25
 
+// retiredSweepInterval is the trace-seconds cadence at which a
+// removed shard is re-swept for straggler queries.
+const retiredSweepInterval = 0.25
+
 // ShardedLBConfig parameterizes the sharded frontend.
 type ShardedLBConfig struct {
-	// Shards are the per-shard connections, one per LBServer, in
-	// shard order: Shards[i] must serve the shard that
-	// loadbalancer.ShardOf assigns index i.
+	// Shards are the per-shard connections, one per LBServer. With
+	// the default modulus placement (VNodes == 0, Members nil),
+	// Shards[i] must serve the shard loadbalancer.ShardOf assigns
+	// index i.
 	Shards []LBConn
+	// Members are the ring member IDs, parallel to Shards. Nil
+	// defaults to 0..len(Shards)-1. Member IDs are never reused: a
+	// removed member stays retired for the frontend's lifetime.
+	Members []int
+	// VNodes selects the placement: 0 keeps the legacy static-modulus
+	// assignment (bit-identical to ShardOf) as long as membership
+	// stays contiguous 0..N-1, falling back to a consistent-hash ring
+	// with loadbalancer.DefaultVNodes otherwise; > 0 always uses a
+	// consistent-hash ring with that many virtual nodes per shard,
+	// the minimal-disruption placement for tiers that reshard.
+	VNodes int
 	// Clock converts long-poll waits (trace seconds) to wall time,
 	// exactly as the shards themselves do.
 	Clock *Clock
@@ -47,20 +79,46 @@ type ShardedLBConfig struct {
 	PumpWait float64
 }
 
-// ShardedLB partitions queries by ID hash across independent LBServer
-// shards and re-exposes them as one LBConn:
+// epochRing is one installed placement epoch: the ring plus the
+// member connections as of that epoch. Epochs are immutable once
+// installed; the newest one routes submits, and completions fan out
+// across all of them so a query registered under any epoch still
+// finds its shard.
+type epochRing struct {
+	epoch   int
+	ring    *loadbalancer.Ring
+	members []int    // sorted ascending
+	conns   []LBConn // parallel to members
+	slot    map[int]int
+}
+
+func (e *epochRing) conn(member int) LBConn {
+	if i, ok := e.slot[member]; ok {
+		return e.conns[i]
+	}
+	return nil
+}
+
+// ShardedLB partitions queries across independent LBServer shards by
+// consistent hashing and re-exposes them as one LBConn:
 //
-//   - Submit / SubmitBatch route each query to its owning shard
-//     (batches fan out per shard concurrently);
+//   - Submit / SubmitBatch route each query to its owning shard under
+//     the current ring epoch (batches fan out per shard concurrently,
+//     and a whole batch lands in exactly one epoch);
 //   - PollResults merges the shards' result streams: one background
 //     pump per shard long-polls its shard and lands results in a
 //     shared buffer with LBServer-identical wait semantics (pumps
 //     start lazily on the first PollResults call, so a frontend used
 //     only for control-plane fan-out never consumes results);
-//   - Pull sweeps the shards from a rotating start for dispatchable
-//     work, parking on one shard at a time between sweeps;
-//   - Complete routes each finished item back to its owning shard;
-//   - Configure broadcasts; Stats merges the shards' reports.
+//   - Pull sweeps the shards (retired ones included) from a rotating
+//     start for dispatchable work, parking on one shard at a time
+//     between sweeps;
+//   - Complete routes each finished item to its owning shard under
+//     every epoch — the non-owners treat the delivery as a no-op;
+//   - Configure broadcasts with the current ring epoch stamped;
+//     Stats merges the shards' reports;
+//   - Resharding / AddShard / RemoveShard change membership at
+//     runtime (see the file comment for the migration protocol).
 //
 // Exactly one process may poll results through a given query's shard
 // — the same destructive-read contract a single LBServer has.
@@ -69,12 +127,46 @@ type ShardedLB struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// ringMu guards the epoch list and the retired set. Submit fan-out
+	// holds it for reading across the whole batch flight, which is the
+	// write barrier that makes a reshard flip atomic per batch.
+	ringMu  sync.RWMutex
+	epochs  []epochRing
+	retired map[int]LBConn // removed member -> conn, kept for stragglers
+	// sweep is the immutable conn list Pull sweeps (current members in
+	// ascending order, then retired members), rebuilt on every
+	// reshard so the per-pull snapshot is a slice read, not a copy.
+	sweep []LBConn
+
+	// reshardMu serializes membership changes end to end (flip +
+	// drain), so two concurrent reshards cannot interleave their
+	// migrations.
+	reshardMu sync.Mutex
+
+	// cfgMu guards the last configured policy AND serializes policy
+	// broadcasts: a reshard re-broadcasts lastCfg with the new epoch
+	// stamp, and without the serialization it could interleave with a
+	// concurrent Configure and overwrite a newer threshold with a
+	// stale one on some shards.
+	cfgMu   sync.Mutex
+	lastCfg ConfigureLBRequest
+
 	// Result merge state: pumps append, PollResults drains.
 	resMu   sync.Mutex
 	results []QueryResponse
 	wake    notifier
-	pumpGo  sync.Once
 	pumps   sync.WaitGroup
+
+	// pumpMu guards lazy pump startup; pumped tracks the members whose
+	// pump is already running (member IDs are never reused, so a
+	// member maps to one conn forever). pumpsUp short-circuits
+	// startPumps once the initial scan has run — PollResults calls it
+	// on every poll, and reshardLocked starts pumps for members added
+	// later, so re-scanning would be pure lock traffic.
+	pumpMu  sync.Mutex
+	pumping bool
+	pumped  map[int]bool
+	pumpsUp atomic.Bool
 
 	// rr rotates Pull's sweep start across calls so concurrent
 	// frontend pullers spread over the shards.
@@ -93,8 +185,8 @@ type ShardedLB struct {
 // SplitShardAddrs parses a comma-separated shard address list,
 // trimming whitespace and dropping empty entries (a trailing comma
 // is not a shard). The cmd binaries share it so every -shard-addrs
-// flag parses identically — the list order defines the shard indices
-// loadbalancer.ShardOf routes to, and must match on every process.
+// flag parses identically — the list order defines the initial ring
+// members 0..N-1, and must match on every process.
 func SplitShardAddrs(csv string) []string {
 	var addrs []string
 	for _, a := range strings.Split(csv, ",") {
@@ -108,7 +200,9 @@ func SplitShardAddrs(csv string) []string {
 // DialShardedLB dials every shard of a comma-separated address list
 // with DialLB and wraps the connections in a ShardedLB frontend —
 // the standalone client's and controller's way onto a sharded tier.
-func DialShardedLB(transport, addrCSV string, codec Codec, clock *Clock) (*ShardedLB, error) {
+// vnodes selects the placement exactly as ShardedLBConfig.VNodes
+// does: 0 is the legacy static modulus, > 0 a consistent-hash ring.
+func DialShardedLB(transport, addrCSV string, codec Codec, clock *Clock, vnodes int) (*ShardedLB, error) {
 	addrs := SplitShardAddrs(addrCSV)
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no shard addresses in %q", addrCSV)
@@ -121,7 +215,27 @@ func DialShardedLB(transport, addrCSV string, codec Codec, clock *Clock) (*Shard
 		}
 		conns[i] = conn
 	}
-	return NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock})
+	return NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock, VNodes: vnodes})
+}
+
+// buildRing constructs the placement for one epoch's membership under
+// the config's VNodes policy.
+func (cfg *ShardedLBConfig) buildRing(members []int) *loadbalancer.Ring {
+	if cfg.VNodes == 0 && contiguousMembers(members) {
+		return loadbalancer.NewModulusRing(len(members))
+	}
+	return loadbalancer.NewRing(members, cfg.VNodes)
+}
+
+// contiguousMembers reports whether sorted members are exactly 0..N-1
+// — the only shape the legacy modulus placement is defined over.
+func contiguousMembers(members []int) bool {
+	for i, m := range members {
+		if m != i {
+			return false
+		}
+	}
+	return true
 }
 
 // NewShardedLB builds the frontend over the given shard connections.
@@ -135,47 +249,140 @@ func NewShardedLB(cfg ShardedLBConfig) (*ShardedLB, error) {
 	if cfg.PumpWait <= 0 {
 		cfg.PumpWait = 0.5
 	}
+	members := cfg.Members
+	if members == nil {
+		members = make([]int, len(cfg.Shards))
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if len(members) != len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: %d members for %d shard conns", len(members), len(cfg.Shards))
+	}
+	e := epochRing{
+		epoch:   0,
+		members: append([]int(nil), members...),
+		conns:   append([]LBConn(nil), cfg.Shards...),
+		slot:    make(map[int]int, len(members)),
+	}
+	sort.Sort(&memberSort{e.members, e.conns})
+	for i, m := range e.members {
+		if _, dup := e.slot[m]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard member %d", m)
+		}
+		e.slot[m] = i
+	}
+	e.ring = cfg.buildRing(e.members)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &ShardedLB{cfg: cfg, ctx: ctx, cancel: cancel}, nil
+	return &ShardedLB{
+		cfg: cfg, ctx: ctx, cancel: cancel,
+		epochs:  []epochRing{e},
+		retired: map[int]LBConn{},
+		pumped:  map[int]bool{},
+		sweep:   append([]LBConn(nil), e.conns...),
+	}, nil
 }
 
-// Shards returns the number of shards behind the frontend.
-func (s *ShardedLB) Shards() int { return len(s.cfg.Shards) }
-
-// ShardConn returns the connection serving shard i — workers pin
-// themselves to one shard with it (the harness assigns worker w to
-// shard w mod N).
-func (s *ShardedLB) ShardConn(i int) LBConn { return s.cfg.Shards[i] }
-
-// shardOf maps a query ID to its owning shard connection index.
-func (s *ShardedLB) shardOf(id int) int {
-	return loadbalancer.ShardOf(id, len(s.cfg.Shards))
+// memberSort co-sorts a member list and its parallel conns.
+type memberSort struct {
+	members []int
+	conns   []LBConn
 }
 
-// Close stops the result pumps. In-flight pump polls are cancelled;
-// callers drain all expected results before closing, exactly as they
-// would before tearing down a single LBServer's transport.
+func (s *memberSort) Len() int           { return len(s.members) }
+func (s *memberSort) Less(i, j int) bool { return s.members[i] < s.members[j] }
+func (s *memberSort) Swap(i, j int) {
+	s.members[i], s.members[j] = s.members[j], s.members[i]
+	s.conns[i], s.conns[j] = s.conns[j], s.conns[i]
+}
+
+// cur returns the newest epoch. Callers must hold ringMu.
+func (s *ShardedLB) cur() *epochRing { return &s.epochs[len(s.epochs)-1] }
+
+// Shards returns the number of shards currently in the ring.
+func (s *ShardedLB) Shards() int {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return len(s.cur().members)
+}
+
+// Epoch returns the current ring epoch (0 until the first reshard).
+func (s *ShardedLB) Epoch() int {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.cur().epoch
+}
+
+// Members returns the current ring membership, sorted ascending.
+func (s *ShardedLB) Members() []int {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return append([]int(nil), s.cur().members...)
+}
+
+// ShardConn returns the connection serving the i-th member (ascending
+// member order) of the current ring — workers pin themselves to one
+// shard with it (the harness assigns worker w to member index w mod
+// N).
+func (s *ShardedLB) ShardConn(i int) LBConn {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.cur().conns[i]
+}
+
+// MemberConn returns the connection serving a member ID, retired
+// members included (their stragglers still resolve there), or nil.
+func (s *ShardedLB) MemberConn(m int) LBConn {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	if c := s.cur().conn(m); c != nil {
+		return c
+	}
+	return s.retired[m]
+}
+
+// Close stops the result pumps and retired-shard sweepers. In-flight
+// pump polls are cancelled; callers drain all expected results before
+// closing, exactly as they would before tearing down a single
+// LBServer's transport.
 func (s *ShardedLB) Close() {
 	s.cancel()
 	s.pumps.Wait()
 }
 
-// Submit admits one query on its owning shard and blocks until it
-// completes or drops.
+// Submit admits one query on its owning shard (under the current
+// epoch) and blocks until it completes or drops. Unlike SubmitBatch,
+// the ring lock cannot be held for the call's duration (a blocking
+// Submit lasts until the query resolves, which would stall every
+// reshard behind it), so a reshard can slip between the owner lookup
+// and the dispatch; the worst case is bounded and mirrors the
+// documented migration semantics for blocking waiters — the query
+// lands on a just-retired shard and the straggler sweep resolves it
+// as a drop. It is never lost or left hanging.
 func (s *ShardedLB) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
-	return s.cfg.Shards[s.shardOf(q.ID)].Submit(ctx, q)
+	s.ringMu.RLock()
+	cur := s.cur()
+	conn := cur.conn(cur.ring.Owner(q.ID))
+	s.ringMu.RUnlock()
+	return conn.Submit(ctx, q)
 }
 
-// SubmitBatch splits the batch by owning shard and fans the per-shard
-// batches out concurrently.
+// SubmitBatch splits the batch by owning shard under the current ring
+// epoch and fans the per-shard batches out concurrently. The epoch is
+// held (shared-locked) for the whole flight: a Resharding call
+// barriers behind in-flight batches, so every batch lands entirely in
+// one epoch — never straddling two rings.
 func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
-	n := len(s.cfg.Shards)
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	cur := s.cur()
+	n := len(cur.conns)
 	if n == 1 {
-		return s.cfg.Shards[0].SubmitBatch(ctx, req)
+		return cur.conns[0].SubmitBatch(ctx, req)
 	}
 	groups := make([][]QueryMsg, n)
 	for _, q := range req.Queries {
-		sh := s.shardOf(q.ID)
+		sh := cur.slot[cur.ring.Owner(q.ID)]
 		groups[sh] = append(groups[sh], q)
 	}
 	errs := make([]error, n)
@@ -187,27 +394,48 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 		wg.Add(1)
 		go func(i int, g []QueryMsg) {
 			defer wg.Done()
-			errs[i] = s.cfg.Shards[i].SubmitBatch(ctx, SubmitRequest{Queries: g})
+			errs[i] = cur.conns[i].SubmitBatch(ctx, SubmitRequest{Queries: g, Pool: req.Pool})
 		}(i, g)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// startPumps launches one result pump per shard, once.
+// startPumps launches the result pumps lazily on first use, and marks
+// the frontend as pumping so later reshards start pumps for the
+// shards they add.
 func (s *ShardedLB) startPumps() {
-	s.pumpGo.Do(func() {
-		for _, conn := range s.cfg.Shards {
+	if s.pumpsUp.Load() {
+		return
+	}
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	s.pumping = true
+	s.ringMu.RLock()
+	cur := s.cur()
+	members := append([]int(nil), cur.members...)
+	conns := append([]LBConn(nil), cur.conns...)
+	for m, c := range s.retired {
+		members = append(members, m)
+		conns = append(conns, c)
+	}
+	s.ringMu.RUnlock()
+	for i, m := range members {
+		if !s.pumped[m] {
+			s.pumped[m] = true
 			s.pumps.Add(1)
-			go s.pump(conn)
+			go s.pump(conns[i])
 		}
-	})
+	}
+	s.pumpsUp.Store(true)
 }
 
 // pump long-polls one shard for results and lands them in the merged
 // buffer. Results are appended before the error is inspected: an
 // in-process poll cancelled at shutdown still returns the batch it
-// popped, and dropping it would lose resolved queries.
+// popped, and dropping it would lose resolved queries. Retired
+// shards keep their pump — stragglers completed there after a
+// reshard still surface in the merged stream.
 func (s *ShardedLB) pump(conn LBConn) {
 	defer s.pumps.Done()
 	for s.ctx.Err() == nil {
@@ -289,6 +517,34 @@ func (s *ShardedLB) takeLocked(max int) []QueryResponse {
 	return out
 }
 
+// sweepConns snapshots the connections Pull sweeps: current members
+// in ascending order, then retired shards — a straggler parked in a
+// retired shard's queue is still dispatchable work. The list is
+// rebuilt only on reshard, so the per-pull cost is a pointer read.
+func (s *ShardedLB) sweepConns() ([]LBConn, int) {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.sweep, s.cur().epoch
+}
+
+// rebuildSweepLocked recomputes the Pull sweep list. Callers hold
+// ringMu exclusively.
+func (s *ShardedLB) rebuildSweepLocked() {
+	cur := s.cur()
+	out := append([]LBConn(nil), cur.conns...)
+	if len(s.retired) > 0 {
+		ms := make([]int, 0, len(s.retired))
+		for m := range s.retired {
+			ms = append(ms, m)
+		}
+		sort.Ints(ms)
+		for _, m := range ms {
+			out = append(out, s.retired[m])
+		}
+	}
+	s.sweep = out
+}
+
 // Pull sweeps the shards for dispatchable work, starting each round
 // at a rotating shard so concurrent frontend pullers spread out. With
 // req.Wait > 0 an empty sweep parks on the round's first shard for a
@@ -297,9 +553,12 @@ func (s *ShardedLB) takeLocked(max int) []QueryResponse {
 // stay pinned to one shard (the multi-host layout) dial their shard
 // directly instead of pulling through the frontend.
 func (s *ShardedLB) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
-	n := len(s.cfg.Shards)
+	conns, epoch := s.sweepConns()
+	n := len(conns)
 	if n == 1 {
-		return s.cfg.Shards[0].Pull(ctx, req)
+		resp, err := conns[0].Pull(ctx, req)
+		resp.RingEpoch = epoch
+		return resp, err
 	}
 	var deadline float64
 	if req.Wait > 0 {
@@ -310,65 +569,158 @@ func (s *ShardedLB) Pull(ctx context.Context, req PullRequest) (PullResponse, er
 		sweep := req
 		sweep.Wait = 0
 		for i := 0; i < n; i++ {
-			resp, err := s.cfg.Shards[(start+i)%n].Pull(ctx, sweep)
+			resp, err := conns[(start+i)%n].Pull(ctx, sweep)
 			if err != nil {
+				resp.RingEpoch = epoch
 				return resp, err
 			}
 			if len(resp.Queries) > 0 {
+				resp.RingEpoch = epoch
 				return resp, nil
 			}
 		}
 		if req.Wait <= 0 {
-			return PullResponse{}, nil
+			return PullResponse{RingEpoch: epoch}, nil
 		}
 		remain := deadline - s.cfg.Clock.Now()
 		if remain <= 0 {
-			return PullResponse{}, nil
+			return PullResponse{RingEpoch: epoch}, nil
 		}
 		park := req
 		park.Wait = min(remain, shardPullSlice)
-		resp, err := s.cfg.Shards[start].Pull(ctx, park)
+		resp, err := conns[start].Pull(ctx, park)
 		if err != nil || len(resp.Queries) > 0 {
+			resp.RingEpoch = epoch
 			return resp, err
 		}
 	}
 }
 
-// Complete routes each finished item back to the shard that owns its
-// query ID, fanning the per-shard reports out concurrently.
+// Complete routes each finished item to the shard that owns its query
+// ID under every installed epoch, fanning the per-shard reports out
+// concurrently. The item's registration lives on exactly one of those
+// shards (wherever it was last submitted or migrated to); the others
+// treat the delivery as a no-op thanks to the LBServer's idempotent
+// resolve machinery. The fan-out is what lets a completion raced by a
+// reshard — or reported by a worker that pulled before the flip —
+// always reach the shard that can resolve it.
 func (s *ShardedLB) Complete(ctx context.Context, req CompleteRequest) error {
-	n := len(s.cfg.Shards)
-	if n == 1 {
-		return s.cfg.Shards[0].Complete(ctx, req)
+	s.ringMu.RLock()
+	// Snapshotting the epoch list is a reference, not a copy: epochs
+	// are immutable once installed and reshard appends copy-on-grow,
+	// so the captured prefix stays valid outside the lock.
+	epochs := s.epochs
+	s.ringMu.RUnlock()
+
+	last := &epochs[len(epochs)-1]
+	if len(epochs) == 1 && len(last.conns) == 1 {
+		return last.conns[0].Complete(ctx, req)
 	}
-	groups := make([][]CompleteItem, n)
-	for _, it := range req.Items {
-		sh := s.shardOf(it.ID)
-		groups[sh] = append(groups[sh], it)
+
+	// Group items by owning member. With a single epoch (no reshard
+	// yet — the overwhelmingly common case, and the steady-state data
+	// path) grouping is slot-indexed slices with no per-item map
+	// traffic, exactly like SubmitBatch. After a reshard the rare
+	// multi-epoch path groups by member ID across every epoch (member
+	// IDs are stable over the frontend's lifetime, so a member names
+	// one conn forever — current or retired).
+	var groups [][]CompleteItem
+	var conns []LBConn
+	if len(epochs) == 1 {
+		groups = make([][]CompleteItem, len(last.conns))
+		conns = last.conns
+		for _, it := range req.Items {
+			sh := last.slot[last.ring.Owner(it.ID)]
+			groups[sh] = append(groups[sh], it)
+		}
+	} else {
+		byMember := map[int][]CompleteItem{}
+		connOf := map[int]LBConn{}
+		var owners []int // per-item dedup scratch
+		for _, it := range req.Items {
+			owners = owners[:0]
+			for e := len(epochs) - 1; e >= 0; e-- {
+				m := epochs[e].ring.Owner(it.ID)
+				dup := false
+				for _, o := range owners {
+					if o == m {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				// An epoch's owner always has a conn in that epoch
+				// (removed members keep theirs in the epochs that
+				// owned them), so no retired-map fallback is needed.
+				owners = append(owners, m)
+				connOf[m] = epochs[e].conn(m)
+				byMember[m] = append(byMember[m], it)
+			}
+		}
+		for m, g := range byMember {
+			groups = append(groups, g)
+			conns = append(conns, connOf[m])
+		}
 	}
-	errs := make([]error, n)
+	errs := make([]error, 0, len(groups))
+	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	for i, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, g []CompleteItem) {
+		go func(conn LBConn, g []CompleteItem) {
 			defer wg.Done()
-			errs[i] = s.cfg.Shards[i].Complete(ctx, CompleteRequest{
+			err := conn.Complete(ctx, CompleteRequest{
 				WorkerID: req.WorkerID, Role: req.Role, Items: g,
 			})
-		}(i, g)
+			if err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+		}(conns[i], g)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// Configure broadcasts the policy update to every shard.
+// broadcastConns snapshots every reachable conn — current members and
+// retired shards — for policy broadcasts.
+func (s *ShardedLB) broadcastConns() []LBConn {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	out := append([]LBConn(nil), s.cur().conns...)
+	for _, c := range s.retired {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Configure broadcasts the policy update to every shard — retired
+// ones included, so their pinned workers see epoch flips too — with
+// the current ring epoch stamped. The policy is remembered and
+// re-broadcast (with the new stamp) whenever membership changes.
 func (s *ShardedLB) Configure(ctx context.Context, req ConfigureLBRequest) error {
-	errs := make([]error, len(s.cfg.Shards))
+	// cfgMu is held across the broadcast so a reshard's re-broadcast
+	// of the remembered policy cannot interleave with (and partially
+	// overwrite) a newer policy in flight.
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	s.lastCfg = req
+	req.RingEpoch = s.Epoch()
+	return s.broadcast(ctx, req)
+}
+
+// broadcast fans a configure message out to every reachable shard.
+func (s *ShardedLB) broadcast(ctx context.Context, req ConfigureLBRequest) error {
+	conns := s.broadcastConns()
+	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
-	for i, conn := range s.cfg.Shards {
+	for i, conn := range conns {
 		wg.Add(1)
 		go func(i int, conn LBConn) {
 			defer wg.Done()
@@ -379,16 +731,19 @@ func (s *ShardedLB) Configure(ctx context.Context, req ConfigureLBRequest) error
 	return errors.Join(errs...)
 }
 
-// Stats merges the shards' control-plane reports: queue lengths,
-// arrival rates, and counters sum; Now is the latest shard clock.
-// Every shard is polled even after a failure — a poll destructively
-// resets that shard's since-tick counters, so the counters gathered
-// alongside a failed shard are carried over and folded into the next
-// successful merge rather than dropped from the demand estimate.
+// Stats merges the shards' control-plane reports — retired shards
+// included, whose counters cover queries they resolved before (or
+// while) being drained: queue lengths, arrival rates, and counters
+// sum; Now is the latest shard clock. Every shard is polled even
+// after a failure — a poll destructively resets that shard's
+// since-tick counters, so the counters gathered alongside a failed
+// shard are carried over and folded into the next successful merge
+// rather than dropped from the demand estimate.
 func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
+	conns := s.broadcastConns()
 	var out LBStats
 	var firstErr error
-	for _, conn := range s.cfg.Shards {
+	for _, conn := range conns {
 		st, err := conn.Stats(ctx)
 		if err != nil {
 			if firstErr == nil {
@@ -419,6 +774,303 @@ func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
 	out.TimeoutsSinceTick += s.carryTimeouts
 	s.carryArrivals, s.carryTimeouts = 0, 0
 	return out, nil
+}
+
+// Resharding installs a new ring epoch over the given membership.
+// conns must provide a connection for every member not already in the
+// ring; members being removed keep their existing connection and
+// become retired. The flip is atomic with respect to submit batches
+// (each lands entirely in one epoch); queued queries on departing
+// shards are drain-pulled and re-submitted to their new owners, and a
+// background sweeper keeps re-routing stragglers that reach a retired
+// shard afterwards (a deferral from a not-yet-re-pinned worker).
+// Member IDs are never reused: re-adding a retired member is an
+// error, because its old conn may still hold registrations.
+//
+// Scope: the flip is local to THIS frontend (plus the workers, which
+// follow the epoch their pull responses carry). Another frontend —
+// a standalone diffserve-client dialed with its own -shard-addrs —
+// keeps routing by its boot-time membership: queries it sends to a
+// retired shard are re-routed by the straggler sweep (within ~2
+// trace-seconds of added latency), and it sends nothing to added
+// shards until redialed with the new address list. Multi-frontend
+// deployments should drive reshards through the controller admin RPC
+// and redial client frontends afterwards; a membership-discovery
+// channel that lets every frontend follow flips automatically is a
+// ROADMAP item.
+func (s *ShardedLB) Resharding(ctx context.Context, members []int, conns map[int]LBConn) error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	return s.reshardLocked(ctx, members, conns)
+}
+
+// AddShard grows the ring by one member served by conn.
+func (s *ShardedLB) AddShard(ctx context.Context, member int, conn LBConn) error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	cur := s.Members()
+	for _, m := range cur {
+		if m == member {
+			return fmt.Errorf("cluster: shard member %d already in the ring", member)
+		}
+	}
+	return s.reshardLocked(ctx, append(cur, member), map[int]LBConn{member: conn})
+}
+
+// RemoveShard shrinks the ring by one member, migrating its queued
+// queries to the survivors. The member's connection stays reachable
+// (retired) so in-flight completions and deferrals still resolve.
+func (s *ShardedLB) RemoveShard(ctx context.Context, member int) error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	cur := s.Members()
+	next := make([]int, 0, len(cur))
+	for _, m := range cur {
+		if m != member {
+			next = append(next, m)
+		}
+	}
+	if len(next) == len(cur) {
+		return fmt.Errorf("cluster: shard member %d not in the ring", member)
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("cluster: cannot remove the last shard member %d", member)
+	}
+	return s.reshardLocked(ctx, next, nil)
+}
+
+// reshardLocked is the membership-change core. Callers hold
+// reshardMu.
+func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns map[int]LBConn) error {
+	if len(members) == 0 {
+		return fmt.Errorf("cluster: resharding to an empty membership")
+	}
+
+	s.ringMu.Lock()
+	cur := s.cur()
+	next := epochRing{
+		epoch:   cur.epoch + 1,
+		members: append([]int(nil), members...),
+		slot:    make(map[int]int, len(members)),
+	}
+	sort.Ints(next.members)
+	next.conns = make([]LBConn, len(next.members))
+	for i, m := range next.members {
+		if _, dup := next.slot[m]; dup {
+			s.ringMu.Unlock()
+			return fmt.Errorf("cluster: duplicate shard member %d", m)
+		}
+		next.slot[m] = i
+		switch {
+		case cur.conn(m) != nil:
+			next.conns[i] = cur.conn(m)
+		case newConns[m] != nil:
+			if _, was := s.retired[m]; was {
+				s.ringMu.Unlock()
+				return fmt.Errorf("cluster: member %d was retired and cannot rejoin; use a fresh member ID", m)
+			}
+			next.conns[i] = newConns[m]
+		default:
+			s.ringMu.Unlock()
+			return fmt.Errorf("cluster: no connection for new shard member %d", m)
+		}
+	}
+	next.ring = s.cfg.buildRing(next.members)
+	var removed []LBConn
+	for i, m := range cur.members {
+		if _, keep := next.slot[m]; !keep {
+			s.retired[m] = cur.conns[i]
+			removed = append(removed, cur.conns[i])
+		}
+	}
+	// The flip: acquiring ringMu exclusively barriered behind every
+	// in-flight submit batch, so batches before this line routed
+	// entirely by the old ring and batches after route by the new one.
+	s.epochs = append(s.epochs, next)
+	s.rebuildSweepLocked()
+	s.ringMu.Unlock()
+
+	// New shards join the merged result stream if pumping already
+	// began (pump startup is otherwise lazy).
+	s.pumpMu.Lock()
+	if s.pumping {
+		for i, m := range next.members {
+			if !s.pumped[m] {
+				s.pumped[m] = true
+				s.pumps.Add(1)
+				go s.pump(next.conns[i])
+			}
+		}
+	}
+	s.pumpMu.Unlock()
+
+	// Re-broadcast the remembered policy with the new epoch stamped,
+	// so shard-pinned workers (including those on removed shards)
+	// observe the flip in their next pull response and re-pin. cfgMu
+	// is held across the broadcast so a racing Configure cannot end
+	// up partially overwritten by this stale policy.
+	s.cfgMu.Lock()
+	cfgMsg := s.lastCfg
+	cfgMsg.RingEpoch = next.epoch
+	_ = s.broadcast(ctx, cfgMsg)
+	s.cfgMu.Unlock()
+
+	// Migrate departing shards' queued work to the new owners, then
+	// keep sweeping for stragglers in the background.
+	for _, conn := range removed {
+		s.drainShard(ctx, conn)
+		s.pumps.Add(1)
+		go s.sweepRetired(conn)
+	}
+	return nil
+}
+
+// drainShard pulls everything queued on a departing shard with
+// ownership transfer and re-queues it on the current (post-flip)
+// ring's owners. Arrival stamps ride along, so migrated queries keep
+// their SLO deadlines, and the pool rides along too: a deferral
+// drained from the heavy queue re-enters its new shard's heavy queue
+// instead of re-running the light model from scratch. It reports
+// whether any round handed queries over.
+//
+// Like pump(), it
+// re-queues whatever a drain round returned before inspecting the
+// round's error: the departing shard has already forgotten those
+// queries' registrations, so an errored-but-non-empty response (an
+// in-process pull cancelled mid-call returns both) still carries
+// queries that only this caller can keep alive. (A wire-level drain
+// whose response is lost entirely after the server popped it remains
+// unrecoverable — the same at-most-once pull semantics every worker
+// pull has.)
+func (s *ShardedLB) drainShard(ctx context.Context, conn LBConn) bool {
+	moved := false
+	for _, role := range []string{"light", "heavy"} {
+		for {
+			resp, err := conn.Pull(ctx, PullRequest{Role: role, Max: 512, Drain: true})
+			if len(resp.Queries) > 0 {
+				moved = true
+				s.resubmitMigrated(resp.Queries, role)
+			}
+			if err != nil || len(resp.Queries) == 0 {
+				break
+			}
+		}
+	}
+	return moved
+}
+
+// resubmitMigrated re-queues drained queries on their current ring
+// owners, retrying failed shards until they land or the frontend
+// closes: the departing shard already forgot these queries'
+// registrations, so giving up would lose them outright — which is
+// why the retries run under the frontend's own lifetime context, not
+// the reshard caller's (an admin RPC's request context dying must
+// not strand half-migrated queries).
+//
+// The grouping is computed ONCE, under the ring at entry, and every
+// retry re-targets the same shard: a submit that errored after being
+// applied server-side re-queues a duplicate, and the idempotent
+// resolve machinery only collapses duplicates that live on the SAME
+// shard (liveLocked state is per-LBServer). Re-grouping a retry
+// under a ring that resharded mid-back-off could register the query
+// on a second live shard and double-resolve it. If the targeted
+// shard is itself removed while retries are in flight, the query
+// still lands there (retired conns stay reachable) and that shard's
+// straggler sweep migrates it onward — one registration at a time,
+// always.
+func (s *ShardedLB) resubmitMigrated(queries []QueryMsg, pool string) {
+	ctx := s.ctx
+	s.ringMu.RLock()
+	cur := s.cur()
+	conns := make([]LBConn, len(cur.conns))
+	copy(conns, cur.conns)
+	groups := make([][]QueryMsg, len(conns))
+	for _, q := range queries {
+		sh := cur.slot[cur.ring.Owner(q.ID)]
+		groups[sh] = append(groups[sh], q)
+	}
+	s.ringMu.RUnlock()
+	for {
+		pending := false
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			if err := conns[i].SubmitBatch(ctx, SubmitRequest{Queries: g, Pool: pool}); err != nil {
+				pending = true
+				continue
+			}
+			groups[i] = nil
+		}
+		if !pending || s.ctx.Err() != nil {
+			return
+		}
+		// Wall-clock floor, like sweepWait: at extreme timescales a
+		// trace-seconds back-off rounds to nothing and a dead shard
+		// would be hammered in a busy loop.
+		t := time.NewTimer(s.sweepWait(0.05))
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// sweepRetired periodically re-drains a removed shard until the
+// frontend closes: a worker that pulled before the flip can still
+// push a deferral into the retired shard's heavy queue after the
+// migration drain ran, and without a re-pinned worker pulling there
+// that query would strand forever. Empty sweeps back off
+// exponentially, but only up to 8x the base interval (2
+// trace-seconds): besides pre-flip worker stragglers, the sweep is
+// the re-route path for any OTHER frontend that has not learned the
+// new membership — a standalone client keeps routing by its
+// boot-time ring until redialed (see Resharding) — and its
+// misdirected queries must reach their real owner with latency
+// budget left under typical SLOs.
+func (s *ShardedLB) sweepRetired(conn LBConn) {
+	defer s.pumps.Done()
+	interval := retiredSweepInterval
+	t := time.NewTimer(s.sweepWait(interval))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			if s.drainShard(s.ctx, conn) {
+				interval = retiredSweepInterval
+			} else if interval < 8*retiredSweepInterval {
+				interval *= 2
+			}
+			t.Reset(s.sweepWait(interval))
+		}
+	}
+}
+
+// sweepWait converts a sweep interval to wall time with a floor, so
+// extreme timescales cannot spin the sweeper.
+func (s *ShardedLB) sweepWait(traceSecs float64) time.Duration {
+	wait := s.cfg.Clock.WallDuration(traceSecs)
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// epochRings snapshots the installed epochs' rings, oldest first —
+// the conformance suite uses it to check that a batch raced by a
+// reshard landed consistently under exactly one epoch.
+func (s *ShardedLB) epochRings() []*loadbalancer.Ring {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	out := make([]*loadbalancer.Ring, len(s.epochs))
+	for i := range s.epochs {
+		out[i] = s.epochs[i].ring
+	}
+	return out
 }
 
 // ShardedLB is a full LBConn: clients, the controller, and frontend

@@ -523,7 +523,7 @@ func TestSplitShardAddrs(t *testing.T) {
 	if SplitShardAddrs("") != nil {
 		t.Errorf("empty list should parse to nil")
 	}
-	if _, err := DialShardedLB("tcp", " , ", CodecBinary, NewClock(1)); err == nil {
+	if _, err := DialShardedLB("tcp", " , ", CodecBinary, NewClock(1), 0); err == nil {
 		t.Error("DialShardedLB accepted an empty shard list")
 	}
 }

@@ -266,7 +266,7 @@ func (l lbService) serve(ctx context.Context, method byte, req interface{}) (int
 		}
 		return &resp, nil
 	case methodSubmit:
-		l.s.SubmitBatch(req.(*SubmitRequest).Queries)
+		l.s.SubmitBatchReq(*req.(*SubmitRequest))
 		return nil, nil
 	case methodResults:
 		resp := l.s.PollResults(ctx, *req.(*ResultsRequest))

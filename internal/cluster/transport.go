@@ -338,7 +338,7 @@ func (c localLBConn) Submit(ctx context.Context, q QueryMsg) (QueryResponse, err
 }
 
 func (c localLBConn) SubmitBatch(ctx context.Context, req SubmitRequest) error {
-	c.s.SubmitBatch(req.Queries)
+	c.s.SubmitBatchReq(req)
 	return ctx.Err()
 }
 

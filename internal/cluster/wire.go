@@ -74,8 +74,17 @@ type QueryResponse struct {
 // This is the persistent-connection client data path — one round
 // trip admits a whole arrival batch instead of one blocking request
 // per query.
+//
+// Pool is the resharding migration path's override: "" (normal
+// admission) routes by the configured policy and counts the queries
+// as fresh arrivals; "light" or "heavy" re-queues drained queries
+// into that pool directly — a deferral migrated off a departing
+// shard keeps its place in the cascade instead of re-running the
+// light model — and leaves the arrival counters untouched, since the
+// queries were already counted where they first arrived.
 type SubmitRequest struct {
 	Queries []QueryMsg `json:"queries"`
+	Pool    string     `json:"pool,omitempty"`
 }
 
 // ResultsRequest long-polls for completed (or dropped) query results:
@@ -95,16 +104,30 @@ type ResultsResponse struct {
 // the given pool. A positive Wait turns the pull into a long poll:
 // the server blocks until a batch is dispatchable or Wait
 // trace-seconds pass, which replaces client-side sleep-and-retry.
+//
+// Drain flips the pull into an ownership transfer used by the
+// resharding path: the server pops up to Max queued queries without
+// shedding or coalescing and forgets their async registrations, so
+// the caller becomes responsible for re-submitting them (to their
+// new owning shard). Queries with a blocking Submit waiter cannot
+// migrate — their client is parked on this server — and resolve as
+// drops instead; queries already resolved by a racing drop are not
+// returned at all, which is what keeps migration double-resolve-free.
 type PullRequest struct {
 	WorkerID int     `json:"worker_id"`
 	Role     string  `json:"role"` // "light" or "heavy"
 	Max      int     `json:"max"`
 	Wait     float64 `json:"wait,omitempty"` // trace seconds
+	Drain    bool    `json:"drain,omitempty"`
 }
 
-// PullResponse carries the dequeued work.
+// PullResponse carries the dequeued work. RingEpoch echoes the ring
+// epoch the server last learned via ConfigureLBRequest: workers
+// compare it against the epoch they pinned under and re-pin when the
+// tier's membership has moved on.
 type PullResponse struct {
-	Queries []QueryMsg `json:"queries"`
+	Queries   []QueryMsg `json:"queries"`
+	RingEpoch int        `json:"ring_epoch,omitempty"`
 }
 
 // CompleteItem is one finished generation.
@@ -130,10 +153,15 @@ type ConfigureWorkerRequest struct {
 	Batch int    `json:"batch"`
 }
 
-// ConfigureLBRequest updates the data-path policy knobs.
+// ConfigureLBRequest updates the data-path policy knobs. RingEpoch
+// carries the sharded tier's current ring epoch; the server adopts it
+// monotonically (a stale broadcast cannot regress the epoch) and
+// echoes it in every PullResponse so shard-pinned workers observe
+// membership changes without a dedicated control channel.
 type ConfigureLBRequest struct {
 	Threshold float64 `json:"threshold"`
 	SplitProb float64 `json:"split_prob"`
+	RingEpoch int     `json:"ring_epoch,omitempty"`
 }
 
 // WorkerStats is a worker's control-plane report.

@@ -35,6 +35,14 @@ type WorkerConfig struct {
 	PullWait float64
 	// DisableLoadDelay skips model-switch downtime.
 	DisableLoadDelay bool
+	// RePin, when set, is consulted whenever a pull response carries a
+	// ring epoch newer than the one the worker pinned under: it
+	// returns the connection the worker should pull from at that
+	// epoch (nil keeps the current pin). The harness wires it so
+	// shard-pinned workers follow dynamic membership; a batch already
+	// pulled always completes to the connection it was pulled from,
+	// because that shard holds the queries' registrations.
+	RePin func(epoch int) LBConn
 }
 
 // WorkerServer simulates one GPU worker: it long-polls batches from
@@ -152,6 +160,11 @@ func (s *WorkerServer) handleStats(w http.ResponseWriter, r *http.Request) {
 // dispatch/onBatchDone events. Pulls long-poll server-side, so an
 // idle worker consumes no wire round-trips between arrivals.
 func (s *WorkerServer) Loop(ctx context.Context) {
+	// lb is the shard the worker is currently pinned to; epoch is the
+	// ring epoch it pinned under. A pulled batch completes to the conn
+	// it came from even if the worker re-pins before execution ends.
+	lb := s.cfg.LB
+	epoch := 0
 	for ctx.Err() == nil {
 		now := s.cfg.Clock.Now()
 		s.mu.Lock()
@@ -167,7 +180,7 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 			continue
 		}
 
-		pulled, err := s.cfg.LB.Pull(ctx, PullRequest{
+		pulled, err := lb.Pull(ctx, PullRequest{
 			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch, Wait: s.cfg.PullWait,
 		})
 		if err != nil {
@@ -177,18 +190,25 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 			}
 			continue
 		}
-		if len(pulled.Queries) == 0 {
-			// Long poll expired with no work; re-check role and
-			// availability before the next pull.
-			continue
+		if len(pulled.Queries) > 0 {
+			s.executeBatch(ctx, role, lb, pulled.Queries)
 		}
-
-		s.executeBatch(ctx, role, pulled.Queries)
+		if pulled.RingEpoch > epoch {
+			// The tier resharded: re-pin after the in-flight batch has
+			// completed back to the shard it was pulled from.
+			epoch = pulled.RingEpoch
+			if s.cfg.RePin != nil {
+				if c := s.cfg.RePin(epoch); c != nil {
+					lb = c
+				}
+			}
+		}
 	}
 }
 
-// executeBatch simulates execution and reports completions.
-func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, queries []QueryMsg) {
+// executeBatch simulates execution and reports completions to lb, the
+// connection the batch was pulled from.
+func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LBConn, queries []QueryMsg) {
 	n := len(queries)
 	variant := s.cfg.Light
 	if role == worker.RoleHeavy {
@@ -226,7 +246,7 @@ func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, queri
 		}
 		// Completion failures are dropped queries from the client's
 		// view; nothing to retry meaningfully in a lossy run.
-		_ = s.cfg.LB.Complete(ctx, req)
+		_ = lb.Complete(ctx, req)
 	}
 
 	s.mu.Lock()

@@ -298,11 +298,16 @@ func TestSimVsClusterShardedTCP(t *testing.T) {
 			p.SingleCompleted, p.SingleDropped, p.Queries)
 	}
 	if !p.Matches() {
-		t.Errorf("2-shard topology diverged from single LB: single %d/%d, sharded %d/%d (completed/dropped)",
-			p.SingleCompleted, p.SingleDropped, p.ShardedCompleted, p.ShardedDropped)
+		t.Errorf("sharded topologies diverged from single LB: single %d/%d, sharded %d/%d, resharded %d/%d (completed/dropped)",
+			p.SingleCompleted, p.SingleDropped, p.ShardedCompleted, p.ShardedDropped,
+			p.ReshardCompleted, p.ReshardDropped)
 	}
 	if p.SingleDropped != 0 {
 		t.Errorf("parity trace dropped %d queries under light load", p.SingleDropped)
+	}
+	if p.ReshardCompleted != p.Queries || p.ReshardDropped != 0 {
+		t.Errorf("2->3-shard mid-trace reshard lost queries: %d completed / %d dropped of %d",
+			p.ReshardCompleted, p.ReshardDropped, p.Queries)
 	}
 	var buf bytes.Buffer
 	r.Render(&buf)

@@ -268,22 +268,30 @@ type SimVsClusterResult struct {
 	ShardParity *ShardParity
 }
 
-// ShardParity reports completed/dropped counts of the single-LB and
-// sharded-LB replays of one deterministic trace. Under ample capacity
-// the outcome set is timing-insensitive, so the counts must agree
-// exactly: the partitioned query stream reaches the same completions
+// ShardParity reports completed/dropped counts of the single-LB,
+// static-sharded, and mid-trace-resharded replays of one
+// deterministic trace. Under ample capacity the outcome set is
+// timing-insensitive, so the counts must agree exactly: the
+// partitioned query stream — even while a consistent-hash ring epoch
+// flip migrates ownership mid-trace — reaches the same completions
 // and the same (zero) drops the single balancer produces.
 type ShardParity struct {
 	Shards                           int
 	Queries                          int
 	SingleCompleted, SingleDropped   int
 	ShardedCompleted, ShardedDropped int
+	// Reshard* is the mid-trace resharding leg: the run starts with
+	// Shards shards on a consistent-hash ring and adds one more at
+	// half-trace, so the counts cover an epoch flip plus the queued-
+	// work migration.
+	ReshardCompleted, ReshardDropped int
 }
 
-// Matches reports whether the sharded topology reproduced the
-// single-LB outcome counts.
+// Matches reports whether the sharded topology — static and
+// mid-trace-resharded — reproduced the single-LB outcome counts.
 func (p *ShardParity) Matches() bool {
-	return p.SingleCompleted == p.ShardedCompleted && p.SingleDropped == p.ShardedDropped
+	return p.SingleCompleted == p.ShardedCompleted && p.SingleDropped == p.ShardedDropped &&
+		p.SingleCompleted == p.ReshardCompleted && p.SingleDropped == p.ReshardDropped
 }
 
 // SimVsCluster runs the same cascade-1 workload through both runtimes.
@@ -376,20 +384,46 @@ func SimVsCluster(cfg Config) (*SimVsClusterResult, error) {
 }
 
 // shardParityRuns replays one deterministic lightly loaded static
-// trace through the single-LB and the sharded-LB cluster topologies
-// at the same seed. With ample capacity the outcome set is
+// trace through the single-LB, the static-sharded, and the mid-trace
+// resharded (N -> N+1 shards on a consistent-hash ring) cluster
+// topologies at the same seed. With ample capacity the outcome set is
 // timing-insensitive, so the completed/dropped counts must agree
-// exactly — the sharded tier's validation that consistent ID
-// partitioning (with per-shard "lb/<shard>" RNG streams) loses and
-// invents nothing.
+// exactly — the tier's validation that consistent ID partitioning
+// (with per-shard "lb/<shard>" RNG streams) loses and invents
+// nothing, including across a ring epoch flip that migrates queued
+// ownership while the trace is in flight.
 func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardParity, error) {
-	tr, err := trace.Static(6, 40, 1)
+	// 4 QPS leaves every striped worker group comfortable capacity
+	// headroom in all three legs (at 6 QPS the post-reshard guard
+	// layout of 1 light + 2 heavy per shard is marginal for the
+	// cascade's deferral rate, and a tail query can shed right at the
+	// SLO boundary depending on wall-clock jitter).
+	const parityDuration = 40
+	tr, err := trace.Static(4, parityDuration, 1)
 	if err != nil {
 		return nil, err
 	}
-	const parityWorkers = 8
+	// 9 workers: divisible by both the 2-shard and the post-reshard
+	// 3-shard layouts, so the striped per-shard capacity matches the
+	// globally-optimized threshold in every leg. (A count that does
+	// not divide the shard count leaves one shard a thinner worker
+	// group than its ring share of the stream — a real capacity
+	// imbalance that sheds load by design, which would make the
+	// parity comparison measure striping arithmetic instead of the
+	// resharding protocol.)
+	const parityWorkers = 9
+	// The parity legs run on wall-clock time like any cluster replay,
+	// and the resharding leg is timing-sensitive around the epoch
+	// flip: on a loaded 1-core CI box a scheduler stall at 50x replay
+	// spans several trace seconds and sheds queries that a quiet
+	// machine serves. 12.5x keeps the three legs deterministic even
+	// with residual load (e.g. straight after a race-detector run)
+	// while still finishing in ~10 wall seconds total.
+	if timescale < 0.08 {
+		timescale = 0.08
+	}
 	out := &ShardParity{Shards: cfg.ClusterLBShards}
-	run := func(shards int) (completed, dropped int, err error) {
+	run := func(shards, vnodes int, reshard []cluster.ReshardEvent) (completed, dropped int, err error) {
 		a, err := allocator.NewMILP(allocator.Config{
 			Light: env.Light, Heavy: env.Heavy,
 			DiscPerImage: env.Scorer.PerImageLatency(),
@@ -409,7 +443,7 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 			Mode: loadbalancer.ModeCascade, Workers: parityWorkers, SLO: env.Spec.SLOSeconds,
 			Trace: tr, Ctrl: ctrl, Timescale: timescale, Seed: env.Seed + 23,
 			DisableLoadDelay: true, Transport: cfg.ClusterTransport,
-			LBShards: shards,
+			LBShards: shards, RingVNodes: vnodes, Reshard: reshard,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -424,10 +458,25 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 		}
 		return completed, dropped, nil
 	}
-	if out.SingleCompleted, out.SingleDropped, err = run(1); err != nil {
+	if out.SingleCompleted, out.SingleDropped, err = run(1, 0, nil); err != nil {
 		return nil, err
 	}
-	if out.ShardedCompleted, out.ShardedDropped, err = run(cfg.ClusterLBShards); err != nil {
+	if out.ShardedCompleted, out.ShardedDropped, err = run(cfg.ClusterLBShards, cfg.ClusterRingVNodes, nil); err != nil {
+		return nil, err
+	}
+	// Resharding leg: start sharded on a true consistent-hash ring and
+	// grow by one shard at half trace — the epoch flip, the worker
+	// re-pin, the role re-stripe, and the drain migration all happen
+	// while queries are in flight, and the outcome counts must still
+	// be the single-LB counts.
+	vnodes := cfg.ClusterRingVNodes
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	reshard := []cluster.ReshardEvent{
+		{At: parityDuration / 2, Action: "add", Member: cfg.ClusterLBShards},
+	}
+	if out.ReshardCompleted, out.ReshardDropped, err = run(cfg.ClusterLBShards, vnodes, reshard); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -450,8 +499,9 @@ func (r *SimVsClusterResult) Render(w io.Writer) {
 		if !p.Matches() {
 			verdict = "MISMATCH"
 		}
-		fmt.Fprintf(w, "shard parity (%d queries, static trace): single LB %d completed / %d dropped, %d shards %d completed / %d dropped — %s\n",
-			p.Queries, p.SingleCompleted, p.SingleDropped, p.Shards, p.ShardedCompleted, p.ShardedDropped, verdict)
+		fmt.Fprintf(w, "shard parity (%d queries, static trace): single LB %d completed / %d dropped, %d shards %d completed / %d dropped, %d->%d shards mid-trace %d completed / %d dropped — %s\n",
+			p.Queries, p.SingleCompleted, p.SingleDropped, p.Shards, p.ShardedCompleted, p.ShardedDropped,
+			p.Shards, p.Shards+1, p.ReshardCompleted, p.ReshardDropped, verdict)
 	}
 }
 

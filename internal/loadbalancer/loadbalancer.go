@@ -53,17 +53,20 @@ func (m Mode) String() string {
 // every component (frontend, workers, tests) that needs to know which
 // LB shard owns a query computes it locally with no coordination.
 // shards <= 1 always maps to shard 0.
+//
+// Ring compatibility: ShardOf is the static-modulus placement — it
+// remaps ~everything when shards changes, so it only suits tiers
+// whose shard count is fixed for the process lifetime. Tiers with
+// dynamic membership use Ring instead; NewModulusRing(n) wraps this
+// exact placement (same hash, same modulus, bit-identical assignment)
+// so a static-N deployment can adopt the ring API without moving a
+// single key, and NewRing provides the minimal-disruption placement
+// once membership actually changes.
 func ShardOf(id, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
-	h := uint64(14695981039346656037) // FNV-1a offset basis
-	v := uint64(id)
-	for i := 0; i < 8; i++ {
-		h ^= v >> (8 * i) & 0xff
-		h *= 1099511628211 // FNV-1a prime
-	}
-	return int(h % uint64(shards))
+	return int(hash64(uint64(id)) % uint64(shards))
 }
 
 // PoolID identifies a destination pool.

@@ -27,3 +27,14 @@ go test -race -short ./internal/cluster/ ./internal/parallel/
 go test -race -short -count=2 \
 	-run 'TestShardedLBStress|TestLBPoolWakeupStress|TestDrainCompleteRaceNoDoubleResolve|TestNotifierCoalescing' \
 	./internal/cluster/
+# race-reshard leg: dynamic shard membership — consistent-hash ring
+# epoch flips, drain migration with ownership transfer, retired-shard
+# straggler sweeps, and worker re-pinning — raced under the detector,
+# plus the ring's property tests.
+go test -race -short -count=2 \
+	-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
+	./internal/cluster/
+go test -race ./internal/loadbalancer/
+# bench-ring smoke: the consistent-hash lookup must stay within 2x of
+# the static-modulus ShardOf (full numbers in PERFORMANCE.md).
+go test -run '^$' -bench 'BenchmarkRingLookup|BenchmarkShardOf' -benchtime 100x ./internal/loadbalancer/ >/dev/null
