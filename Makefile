@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard fuzz-smoke
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard chaos-soak fuzz-smoke
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -55,6 +55,17 @@ bench-ring:
 race-reshard:
 	$(GO) test -race -short -count=2 \
 		-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
+		./internal/cluster/
+
+# chaos-soak runs the fault-tolerance suite under the race detector:
+# the worker-churn soak (killed workers, severed conns, injected
+# drops/latency — exactly-once accounting), the lease-reclaim and
+# retry-after-sever conformance rows on every transport, and the
+# controller/shard failover units. Raise COUNT for a longer hunt.
+COUNT ?= 2
+chaos-soak:
+	$(GO) test -race -count=$(COUNT) \
+		-run 'TestChaosWorkerChurnNoLostQueries|TestTransportConformance/.*/lease-reclaim-exactly-once|TestTransportConformance/.*/retry-after-sever|TestControllerConservativeFailover|TestShardedLBDegradeSpill' \
 		./internal/cluster/
 
 # fuzz-smoke runs each decoder fuzz target briefly on top of the

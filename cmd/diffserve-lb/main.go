@@ -53,6 +53,8 @@ func main() {
 		mode      = flag.String("mode", "cascade", "routing: cascade|all-light|all-heavy|random-split")
 		transport = flag.String("transport", "http", "wire transport: http|tcp (raw framed TCP)")
 		codecName = flag.String("codec", "json", "advertised wire codec: json|binary (the server answers each request in the codec it arrived in)")
+		lease     = flag.Float64("lease", 0, "pull-lease duration in trace seconds: a worker that pulls a batch and never completes it forfeits the queries to the expiry sweep (0 = 4x the SLO, negative disables leasing)")
+		leaseRed  = flag.Int("lease-redeliveries", 0, "times an unlucky query is reclaimed and re-queued before it is shed as a drop (0 = default 3)")
 		adminPort = flag.Int("admin-port", 0, "admin API port: POST /add-shard serves one more shard on the next consecutive port (0 = disabled)")
 		advertise = flag.String("advertise", "", "host other processes should dial this LB's shards at; /add-shard reports addresses as <advertise>:<port> (empty: port-only, same-host layouts)")
 	)
@@ -96,7 +98,8 @@ func main() {
 			LightMinExec: env.Light.Latency.Latency(1) + env.Scorer.PerImageLatency(),
 			HeavyMinExec: env.Heavy.Latency.Latency(1),
 			Clock:        clock, Seed: *seed,
-			RNGStream: fmt.Sprintf("lb/%d", i),
+			RNGStream:     fmt.Sprintf("lb/%d", i),
+			LeaseDuration: *lease, LeaseRedeliveries: *leaseRed,
 		}
 		if *shards == 1 && i == 0 {
 			cfg.RNGStream = "" // classic single-LB stream name

@@ -23,6 +23,13 @@
 // operator's move (restart with the new -shard-addrs), while the
 // in-process harness re-pins automatically.
 //
+// Data-path calls to the LB retry transient failures with jittered
+// exponential backoff (-retry-attempts, -retry-base-ms), and a conn
+// whose pulls keep failing is redialed in place (-redial-after); a
+// completion report that exhausts -complete-retries abandons its
+// batch to the LB's lease sweep, which re-queues the queries for
+// another worker.
+//
 //	diffserve-worker -port 50051 -id 0 -lb http://localhost:8100 -cascade cascade1
 //	diffserve-worker -port 50051 -id 0 -lb localhost:8100 -transport tcp -codec binary
 //	diffserve-worker -port 50051 -id 3 -shard-addrs localhost:8100,localhost:8101 -transport tcp
@@ -34,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"diffserve/internal/baselines"
 	"diffserve/internal/cluster"
@@ -51,6 +59,11 @@ func main() {
 		fastLoad   = flag.Bool("fast-load", false, "skip model-switch load delays")
 		transport  = flag.String("transport", "http", "wire transport to the LB and for the control API: http|tcp (raw framed TCP)")
 		codecName  = flag.String("codec", "json", "wire codec to the LB: json|binary")
+
+		retryAttempts = flag.Int("retry-attempts", 0, "tries per LB data-path call before the transient failure surfaces (0 = default 4, 1 disables retries)")
+		retryBaseMs   = flag.Float64("retry-base-ms", 0, "first retry backoff in milliseconds, doubling with jitter up to a 50x cap (0 = default 5ms)")
+		redialAfter   = flag.Int("redial-after", 0, "consecutive pull failures before the worker drops its LB conn and redials (0 = default 3, negative disables)")
+		completeRetry = flag.Int("complete-retries", 0, "tries a completion report gets before its batch is abandoned to the lease sweep (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -72,16 +85,32 @@ func main() {
 		lbAddr = addrs[shard]
 		fmt.Printf("diffserve-worker %d: pinned to LB shard %d of %d (%s)\n", *id, shard, len(addrs), lbAddr)
 	}
-	lbConn, err := cluster.DialLB(*transport, lbAddr, codec)
+	// Every data-path call retries transient failures with jittered
+	// exponential backoff; the jitter stream is seeded per worker so a
+	// fleet sharing a seed does not retry in lockstep.
+	pol := cluster.RetryPolicy{
+		Attempts: *retryAttempts,
+		Base:     time.Duration(*retryBaseMs * float64(time.Millisecond)),
+		Seed:     *seed ^ uint64(*id)<<32,
+	}
+	dialLB := func() (cluster.LBConn, error) {
+		conn, err := cluster.DialLB(*transport, lbAddr, codec)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewRetryingLBConn(conn, pol), nil
+	}
+	lbConn, err := dialLB()
 	if err != nil {
 		fatal(err)
 	}
 	clock := cluster.NewClock(*timescale)
-	ws := cluster.NewWorkerServer(cluster.WorkerConfig{
+	wcfg := cluster.WorkerConfig{
 		ID: *id, LB: lbConn,
 		Space: env.Space, Light: env.Light, Heavy: env.Heavy,
 		Scorer: env.Scorer, Clock: clock,
 		DisableLoadDelay: *fastLoad,
+		CompleteRetries:  *completeRetry,
 		// A standalone worker cannot dial shards it was never told
 		// about, so an epoch flip is surfaced to the operator and the
 		// static pin kept (nil return).
@@ -89,7 +118,23 @@ func main() {
 			fmt.Printf("diffserve-worker %d: LB tier resharded to ring epoch %d; keeping static pin %s (restart with the new -shard-addrs to re-pin)\n", *id, epoch, lbAddr)
 			return nil
 		},
-	})
+	}
+	if *redialAfter >= 0 {
+		wcfg.RedialAfter = *redialAfter
+		// A conn whose pulls keep failing past the threshold is dropped
+		// for a fresh dial of the same shard address; keeping the old
+		// conn (nil return) is the fallback when the redial itself fails.
+		wcfg.Redial = func(epoch int) cluster.LBConn {
+			conn, err := dialLB()
+			if err != nil {
+				fmt.Printf("diffserve-worker %d: redial of %s failed: %v (keeping the dead conn for the next round)\n", *id, lbAddr, err)
+				return nil
+			}
+			fmt.Printf("diffserve-worker %d: redialed %s after repeated pull failures\n", *id, lbAddr)
+			return conn
+		}
+	}
+	ws := cluster.NewWorkerServer(wcfg)
 	go ws.Loop(context.Background())
 
 	addr := fmt.Sprintf(":%d", *port)

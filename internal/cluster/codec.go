@@ -318,7 +318,8 @@ func appendPullResponse(b []byte, m *PullResponse) []byte {
 			b = appendF64(b, m.Queries[i].Arrival)
 		}
 	}
-	return appendInt(b, m.RingEpoch)
+	b = appendInt(b, m.RingEpoch)
+	return appendF64(b, m.LeaseDeadline)
 }
 
 func appendCompleteItem(b []byte, m *CompleteItem) []byte {
@@ -335,13 +336,14 @@ func appendCompleteRequest(b []byte, m *CompleteRequest) []byte {
 	b = appendInt(b, m.WorkerID)
 	b = appendStr(b, m.Role)
 	if m.Items == nil {
-		return appendUint(b, 0)
+		b = appendUint(b, 0)
+	} else {
+		b = appendUint(b, uint64(len(m.Items))+1)
+		for i := range m.Items {
+			b = appendCompleteItem(b, &m.Items[i])
+		}
 	}
-	b = appendUint(b, uint64(len(m.Items))+1)
-	for i := range m.Items {
-		b = appendCompleteItem(b, &m.Items[i])
-	}
-	return b
+	return appendF64(b, m.LeaseDeadline)
 }
 
 func appendConfigureWorker(b []byte, m *ConfigureWorkerRequest) []byte {
@@ -377,7 +379,12 @@ func appendLBStats(b []byte, m *LBStats) []byte {
 	b = appendInt(b, m.ArrivalsSinceTick)
 	b = appendInt(b, m.TimeoutsSinceTick)
 	b = appendInt(b, m.Completed)
-	return appendInt(b, m.Dropped)
+	b = appendInt(b, m.Dropped)
+	b = appendInt(b, m.InFlight)
+	b = appendInt(b, m.Reclaims)
+	b = appendInt(b, m.ShedRedelivery)
+	b = appendInt(b, m.LateCompletions)
+	return appendInt(b, m.DegradedShards)
 }
 
 func appendSubmitRequest(b []byte, m *SubmitRequest) []byte {
@@ -577,6 +584,7 @@ func readPullResponse(d *bdec, m *PullResponse) {
 		}
 	}
 	m.RingEpoch = d.int()
+	m.LeaseDeadline = d.f64()
 }
 
 func readCompleteRequest(d *bdec, m *CompleteRequest) {
@@ -585,18 +593,19 @@ func readCompleteRequest(d *bdec, m *CompleteRequest) {
 	n := d.count()
 	if n < 0 {
 		m.Items = nil
-		return
+	} else {
+		m.Items = make([]CompleteItem, n)
+		for i := range m.Items {
+			it := &m.Items[i]
+			it.ID = d.int()
+			it.Arrival = d.f64()
+			it.Variant = d.str()
+			it.Features = d.floats()
+			it.Artifact = d.f64()
+			it.Confidence = d.f64()
+		}
 	}
-	m.Items = make([]CompleteItem, n)
-	for i := range m.Items {
-		it := &m.Items[i]
-		it.ID = d.int()
-		it.Arrival = d.f64()
-		it.Variant = d.str()
-		it.Features = d.floats()
-		it.Artifact = d.f64()
-		it.Confidence = d.f64()
-	}
+	m.LeaseDeadline = d.f64()
 }
 
 func readWorkerStats(d *bdec, m *WorkerStats) {
@@ -618,6 +627,11 @@ func readLBStats(d *bdec, m *LBStats) {
 	m.TimeoutsSinceTick = d.int()
 	m.Completed = d.int()
 	m.Dropped = d.int()
+	m.InFlight = d.int()
+	m.Reclaims = d.int()
+	m.ShedRedelivery = d.int()
+	m.LateCompletions = d.int()
+	m.DegradedShards = d.int()
 }
 
 func readSubmitRequest(d *bdec, m *SubmitRequest) {

@@ -385,6 +385,183 @@ func testTransportConformance(t *testing.T, tc transportCase) {
 		}
 	})
 
+	t.Run("lease-reclaim-exactly-once", func(t *testing.T) {
+		// A pulled batch is leased, not gone: when the puller dies
+		// without completing, the expiry sweep reclaims the queries —
+		// arrival stamps intact — and a second worker's pull receives
+		// them. Whichever completion lands first resolves each query
+		// and later reports are no-ops, with the lease counters
+		// surfacing it all through Stats on every transport × codec.
+		tp := tc.mk()
+		defer tp.Close()
+		clock := NewClock(0.001)
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 1e9,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: clock, Seed: 1, CoalesceWait: 1e-9,
+			LeaseDuration: 0.5,
+		})
+		conn := serveTestLB(t, tp, lb)
+		ctx := context.Background()
+
+		err := conn.SubmitBatch(ctx, SubmitRequest{Queries: []QueryMsg{
+			{ID: 1, Arrival: 0.25}, {ID: 2, Arrival: 0.25},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pullA, err := conn.Pull(ctx, PullRequest{WorkerID: 1, Role: "light", Max: 8, Wait: 5})
+		if err != nil || len(pullA.Queries) != 2 {
+			t.Fatalf("first pull = %+v, %v", pullA, err)
+		}
+		if pullA.LeaseDeadline <= 0 {
+			t.Fatalf("pull response carries no lease deadline: %+v", pullA)
+		}
+		// Worker 1 goes silent. Past the hard deadline (grant + 4x
+		// the lease duration) worker 2's pull sweeps, reclaims, and
+		// receives the re-queued batch.
+		clock.SleepTraceCtx(ctx, 3)
+		pullB, err := conn.Pull(ctx, PullRequest{WorkerID: 2, Role: "light", Max: 8, Wait: 5})
+		if err != nil || len(pullB.Queries) != 2 {
+			t.Fatalf("reclaim pull = %+v, %v", pullB, err)
+		}
+		for _, q := range pullB.Queries {
+			if q.Arrival != 0.25 {
+				t.Errorf("reclaimed query lost its arrival stamp: %+v", q)
+			}
+		}
+		// The zombie (worker 1) reports first: its queries are still
+		// live, so its completion wins; worker 2's later report must
+		// be a no-op counted as late.
+		complete := func(workerID int, pull PullResponse) error {
+			req := CompleteRequest{WorkerID: workerID, Role: "light", LeaseDeadline: pull.LeaseDeadline}
+			for _, q := range pull.Queries {
+				req.Items = append(req.Items, CompleteItem{
+					ID: q.ID, Arrival: q.Arrival, Variant: "sdturbo", Confidence: 0.9,
+				})
+			}
+			return conn.Complete(ctx, req)
+		}
+		if err := complete(1, pullA); err != nil {
+			t.Fatal(err)
+		}
+		if err := complete(2, pullB); err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]bool{}
+		for len(got) < 2 {
+			res, err := conn.PollResults(ctx, ResultsRequest{Max: 8, Wait: 5})
+			if err != nil || len(res.Results) == 0 {
+				t.Fatalf("reclaimed results missing: %v (got %v)", err, got)
+			}
+			for _, r := range res.Results {
+				if got[r.ID] {
+					t.Fatalf("result %d delivered twice", r.ID)
+				}
+				got[r.ID] = true
+			}
+		}
+		st, err := conn.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != 2 || st.Dropped != 0 {
+			t.Errorf("stats = %d completed / %d dropped, want 2 / 0", st.Completed, st.Dropped)
+		}
+		if st.Reclaims != 2 {
+			t.Errorf("stats report %d reclaims, want 2", st.Reclaims)
+		}
+		if st.LateCompletions != 2 {
+			t.Errorf("stats report %d late completions, want 2", st.LateCompletions)
+		}
+		if st.InFlight != 0 {
+			t.Errorf("stats report %d leases in flight after resolution", st.InFlight)
+		}
+	})
+
+	t.Run("retry-after-sever", func(t *testing.T) {
+		// A retrying conn over a FaultTransport-severed wire heals on
+		// every transport: calls during the sever window fail with a
+		// transient classified error, the backoff outlasts the window,
+		// and the full round trip then resolves exactly once.
+		clock := NewClock(0.001)
+		ftp := NewFaultTransport(tc.mk(), FaultPlan{Clock: clock})
+		defer ftp.Close()
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 1e9,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: clock, Seed: 1, CoalesceWait: 1e-9,
+		})
+		connA := serveTestLB(t, ftp, lb) // conn index 0
+		connB := serveTestLB(t, ftp, lb) // conn index 1
+		ctx := context.Background()
+
+		// Conn 1 is severed for good: its calls fail immediately and
+		// the failure is classified transient (the harness's
+		// abort-on-fatal watcher must not kill a run over it).
+		ftp.Partition(1, 0, 1e18, FaultSever)
+		if err := connB.SubmitBatch(ctx, SubmitRequest{Queries: []QueryMsg{{ID: 9}}}); err == nil {
+			t.Fatal("submit over a severed conn succeeded")
+		} else if !IsTransientTransportError(err) {
+			t.Fatalf("injected sever classified fatal: %v", err)
+		}
+		select {
+		case err := <-ftp.Errors():
+			if !IsTransientTransportError(err) {
+				t.Fatalf("Errors() event classified fatal: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("injected fault never surfaced on Errors()")
+		}
+
+		// Conn 0 is severed for a bounded window; the retry policy's
+		// minimum cumulative backoff crosses the window's end well
+		// before the attempt budget runs out.
+		now := clock.Now()
+		ftp.Partition(0, now, now+50, FaultSever) // 50 trace-secs = 50 ms wall
+		retry := NewRetryingLBConn(connA, RetryPolicy{
+			Attempts: 8, Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: 3,
+		})
+		err := retry.SubmitBatch(ctx, SubmitRequest{Queries: []QueryMsg{
+			{ID: 1, Arrival: 0.001}, {ID: 2, Arrival: 0.001},
+		}})
+		if err != nil {
+			t.Fatalf("retrying submit never healed: %v", err)
+		}
+		pulled, err := retry.Pull(ctx, PullRequest{WorkerID: 1, Role: "light", Max: 8, Wait: 5})
+		if err != nil || len(pulled.Queries) != 2 {
+			t.Fatalf("pull after heal = %+v, %v", pulled, err)
+		}
+		items := make([]CompleteItem, len(pulled.Queries))
+		for i, q := range pulled.Queries {
+			items[i] = CompleteItem{ID: q.ID, Arrival: q.Arrival, Variant: "sdturbo", Confidence: 0.9}
+		}
+		err = retry.Complete(ctx, CompleteRequest{WorkerID: 1, Role: "light", LeaseDeadline: pulled.LeaseDeadline, Items: items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]bool{}
+		for len(got) < 2 {
+			res, err := retry.PollResults(ctx, ResultsRequest{Max: 8, Wait: 5})
+			if err != nil || len(res.Results) == 0 {
+				t.Fatalf("results after heal missing: %v (got %v)", err, got)
+			}
+			for _, r := range res.Results {
+				if got[r.ID] {
+					t.Fatalf("result %d delivered twice", r.ID)
+				}
+				got[r.ID] = true
+			}
+		}
+		st, err := retry.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != 2 || st.Dropped != 0 {
+			t.Errorf("stats = %d completed / %d dropped, want 2 / 0", st.Completed, st.Dropped)
+		}
+	})
+
 	t.Run("epoch-flip-atomic-submit", func(t *testing.T) {
 		// A submit batch racing a reshard must land entirely in one
 		// epoch on every transport: for each batch there is a single

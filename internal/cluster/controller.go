@@ -32,6 +32,27 @@ type ControllerConfig struct {
 	// (or no heavy) worker would starve, which a global plan never
 	// intends. Resharding updates the count at runtime via SetShards.
 	Shards int
+	// MaxStatsMisses is the consecutive stats-poll-failure budget:
+	// after this many misses the loop stops trusting its stale plan
+	// and fails over to a conservative one (threshold and split
+	// forced to zero — every query served by the light pool — so a
+	// blind controller cannot keep deferring load it can no longer
+	// observe into the heavy pool). Zero defaults to 3.
+	MaxStatsMisses int
+	// Logf, when set, receives controller-loop events (stats misses,
+	// the conservative failover, recovery). Nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// ControllerLoopStats is the control loop's own health report.
+type ControllerLoopStats struct {
+	// ConsecutiveStatsMisses is the current run of failed stats polls.
+	ConsecutiveStatsMisses int
+	// TotalStatsMisses counts failed stats polls over the loop's life.
+	TotalStatsMisses int
+	// Conservative reports whether the loop is currently running the
+	// stats-blind fallback plan.
+	Conservative bool
 }
 
 // ControllerLoop polls runtime statistics, re-solves allocation, and
@@ -57,13 +78,40 @@ type ControllerLoop struct {
 	// assigned caches the last role pushed to each worker so ticks do
 	// not need a per-worker stats round-trip.
 	assigned []string
+	// stats-poll failure tracking (guarded by mu): statsMisses is the
+	// consecutive run, totalMisses the lifetime count, conservative
+	// whether the blind-fallback plan is currently applied.
+	statsMisses  int
+	totalMisses  int
+	conservative bool
 }
 
 // NewControllerLoop constructs the control loop.
 func NewControllerLoop(cfg ControllerConfig) *ControllerLoop {
+	if cfg.MaxStatsMisses <= 0 {
+		cfg.MaxStatsMisses = 3
+	}
 	c := &ControllerLoop{cfg: cfg}
 	c.shards.Store(int32(cfg.Shards))
 	return c
+}
+
+func (c *ControllerLoop) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// LoopStats reports the control loop's own health (stats-poll misses
+// and whether the conservative fallback is active).
+func (c *ControllerLoop) LoopStats() ControllerLoopStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ControllerLoopStats{
+		ConsecutiveStatsMisses: c.statsMisses,
+		TotalStatsMisses:       c.totalMisses,
+		Conservative:           c.conservative,
+	}
 }
 
 // SetShards updates the shard count the role striping targets — the
@@ -99,13 +147,40 @@ func (c *ControllerLoop) Run(ctx context.Context) {
 }
 
 // TickOnce performs one control period: poll stats, solve, push.
+//
+// A failed stats poll is tolerated for MaxStatsMisses consecutive
+// ticks — a transient wire fault should not perturb the plan — but
+// not forever: past the budget the loop fails over to a conservative
+// plan instead of steering the cluster with observations that may be
+// arbitrarily stale. The first successful poll afterwards resumes
+// normal planning.
 func (c *ControllerLoop) TickOnce(ctx context.Context) {
 	lbStats, err := c.cfg.LB.Stats(ctx)
 	if err != nil {
-		return // transient poll failure: keep the previous plan
+		c.mu.Lock()
+		c.statsMisses++
+		c.totalMisses++
+		misses := c.statsMisses
+		failover := misses >= c.cfg.MaxStatsMisses && !c.conservative && c.hasPlan
+		if failover {
+			c.conservative = true
+			plan := c.conservativePlanLocked()
+			c.logf("controller: %d consecutive stats-poll failures (%v): failing over to conservative plan", misses, err)
+			c.applyLocked(ctx, plan)
+		}
+		c.mu.Unlock()
+		if !failover {
+			c.logf("controller: stats poll failed (%d consecutive): keeping previous plan: %v", misses, err)
+		}
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.statsMisses > 0 {
+		c.logf("controller: stats poll recovered after %d misses", c.statsMisses)
+		c.statsMisses = 0
+	}
+	c.conservative = false
 	elapsed := lbStats.Now - c.lastTick
 	c.lastTick = lbStats.Now
 	plan, err := c.cfg.Ctrl.Tick(lbStats.Now, controller.TickInput{
@@ -121,6 +196,21 @@ func (c *ControllerLoop) TickOnce(ctx context.Context) {
 		return
 	}
 	c.applyLocked(ctx, plan)
+}
+
+// conservativePlanLocked derives the stats-blind fallback from the
+// last applied plan: the worker layout is kept (reassigning roles
+// blind would only thrash model reloads) but the cascade threshold
+// and the random split are forced to zero, so every new query is
+// served by the light pool. Deferral volume is the one knob the
+// controller actively steers with stats it no longer has — freezing
+// it at zero bounds heavy-pool load instead of trusting a stale
+// estimate of it. Callers hold mu.
+func (c *ControllerLoop) conservativePlanLocked() allocator.Plan {
+	plan := c.lastPlan
+	plan.Threshold = 0
+	plan.DeferFraction = 0
+	return plan
 }
 
 // Restripe re-applies the last plan across the current shard layout —

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffserve/internal/allocator"
+	"diffserve/internal/loadbalancer"
+)
+
+// blindStatsConn is an LBConn stub whose Stats calls fail while
+// tripped, recording every Configure push so a test can observe the
+// plans a blind controller applies.
+type blindStatsConn struct {
+	mu      sync.Mutex
+	fail    bool
+	lastCfg ConfigureLBRequest
+	cfgs    int
+}
+
+func (c *blindStatsConn) setFail(v bool) {
+	c.mu.Lock()
+	c.fail = v
+	c.mu.Unlock()
+}
+
+func (c *blindStatsConn) last() (ConfigureLBRequest, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastCfg, c.cfgs
+}
+
+func (c *blindStatsConn) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
+	return QueryResponse{}, nil
+}
+func (c *blindStatsConn) SubmitBatch(ctx context.Context, req SubmitRequest) error { return nil }
+func (c *blindStatsConn) PollResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	return ResultsResponse{}, nil
+}
+func (c *blindStatsConn) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
+	return PullResponse{}, nil
+}
+func (c *blindStatsConn) Complete(ctx context.Context, req CompleteRequest) error { return nil }
+func (c *blindStatsConn) Configure(ctx context.Context, req ConfigureLBRequest) error {
+	c.mu.Lock()
+	c.lastCfg = req
+	c.cfgs++
+	c.mu.Unlock()
+	return nil
+}
+func (c *blindStatsConn) Stats(ctx context.Context) (LBStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail {
+		return LBStats{}, errors.New("stats poll severed")
+	}
+	return LBStats{Now: 1}, nil
+}
+
+// TestControllerConservativeFailover pins the stats-blindness budget:
+// the loop tolerates MaxStatsMisses-1 consecutive poll failures
+// without touching its plan, fails over to the conservative plan
+// (threshold and split zero, worker layout kept) at the budget, and
+// resumes normal planning on the first successful poll.
+func TestControllerConservativeFailover(t *testing.T) {
+	f := newFixtures(t)
+	conn := &blindStatsConn{}
+	var logMu sync.Mutex
+	var logs []string
+	loop := NewControllerLoop(ControllerConfig{
+		Ctrl: f.controller(t, 2, 5), LB: conn,
+		Mode: loadbalancer.ModeCascade, Clock: NewClock(0.001),
+		MaxStatsMisses: 3,
+		Logf: func(format string, args ...interface{}) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	ctx := context.Background()
+	loop.Apply(ctx, allocator.Plan{Threshold: 0.7, DeferFraction: 0.4, LightWorkers: 1, HeavyWorkers: 1})
+	if cfg, n := conn.last(); n != 1 || cfg.Threshold != 0.7 {
+		t.Fatalf("initial plan push = %+v (%d pushes)", cfg, n)
+	}
+
+	conn.setFail(true)
+	loop.TickOnce(ctx)
+	loop.TickOnce(ctx)
+	if st := loop.LoopStats(); st.Conservative || st.ConsecutiveStatsMisses != 2 {
+		t.Fatalf("failed over before the miss budget: %+v", st)
+	}
+	if _, n := conn.last(); n != 1 {
+		t.Fatalf("plan re-pushed during tolerated misses (%d pushes)", n)
+	}
+	loop.TickOnce(ctx) // third consecutive miss: the budget
+	st := loop.LoopStats()
+	if !st.Conservative || st.ConsecutiveStatsMisses != 3 || st.TotalStatsMisses != 3 {
+		t.Fatalf("no conservative failover at the miss budget: %+v", st)
+	}
+	cfg, n := conn.last()
+	if n != 2 || cfg.Threshold != 0 || cfg.SplitProb != 0 {
+		t.Fatalf("conservative plan push = %+v (%d pushes), want zero threshold and split", cfg, n)
+	}
+	loop.TickOnce(ctx) // a fourth miss must not re-push
+	if _, n := conn.last(); n != 2 {
+		t.Fatalf("conservative plan re-pushed on further misses (%d pushes)", n)
+	}
+
+	conn.setFail(false)
+	loop.TickOnce(ctx)
+	st = loop.LoopStats()
+	if st.Conservative || st.ConsecutiveStatsMisses != 0 || st.TotalStatsMisses != 4 {
+		t.Fatalf("no recovery on first successful poll: %+v", st)
+	}
+	if _, n := conn.last(); n != 3 {
+		t.Fatalf("recovered tick did not re-plan (%d pushes)", n)
+	}
+
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	for _, want := range []string{"failing over to conservative plan", "recovered after"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("controller log missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// gateConn wraps an LBConn; while tripped, SubmitBatch and
+// PollResults fail — the two calls the sharded frontend's degradation
+// tracker watches.
+type gateConn struct {
+	LBConn
+	mu   sync.Mutex
+	down bool
+}
+
+func (c *gateConn) set(down bool) {
+	c.mu.Lock()
+	c.down = down
+	c.mu.Unlock()
+}
+
+func (c *gateConn) isDown() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+func (c *gateConn) SubmitBatch(ctx context.Context, req SubmitRequest) error {
+	if c.isDown() {
+		return errors.New("shard unreachable")
+	}
+	return c.LBConn.SubmitBatch(ctx, req)
+}
+
+func (c *gateConn) PollResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	if c.isDown() {
+		return ResultsResponse{}, errors.New("shard unreachable")
+	}
+	return c.LBConn.PollResults(ctx, req)
+}
+
+// TestShardedLBDegradeSpill pins the shard-degradation lifecycle: an
+// unreachable shard is marked degraded after the failure threshold,
+// its hash range's new submits spill to the ring's next owner, the
+// state surfaces through merged Stats, and recovery (the result pump
+// probing successfully again) restores normal placement.
+func TestShardedLBDegradeSpill(t *testing.T) {
+	clock := NewClock(1e-3)
+	newShard := func(member int) (*LBServer, LBConn) {
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 1e9,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: clock, Seed: 1, RNGStream: fmt.Sprintf("lb/%d", member),
+			CoalesceWait: 1e-9,
+		})
+		return lb, NewLocalLBConn(lb)
+	}
+	_, conn0 := newShard(0)
+	_, conn1 := newShard(1)
+	gate := &gateConn{LBConn: conn0}
+	fe, err := NewShardedLB(ShardedLBConfig{
+		Shards: []LBConn{gate, conn1}, Clock: clock, VNodes: 64,
+		DegradeThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	ctx := context.Background()
+
+	// IDs owned by each member under the (only) ring epoch.
+	ring := fe.epochRings()[0]
+	ownedBy := func(member, n, from int) []int {
+		var ids []int
+		for id := from; len(ids) < n; id++ {
+			if ring.Owner(id) == member {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	submit := func(ids []int) error {
+		qs := make([]QueryMsg, len(ids))
+		for i, id := range ids {
+			qs[i] = QueryMsg{ID: id}
+		}
+		return fe.SubmitBatch(ctx, SubmitRequest{Queries: qs})
+	}
+	pullIDs := func(conn LBConn) map[int]bool {
+		got := map[int]bool{}
+		for {
+			resp, err := conn.Pull(ctx, PullRequest{WorkerID: 1, Role: "light", Max: 64, Wait: 2})
+			if err != nil || len(resp.Queries) == 0 {
+				return got
+			}
+			for _, q := range resp.Queries {
+				got[q.ID] = true
+			}
+		}
+	}
+
+	// Healthy tier: submits to member 0 land on member 0.
+	first := ownedBy(0, 2, 0)
+	if err := submit(first); err != nil {
+		t.Fatal(err)
+	}
+	got := pullIDs(gate)
+	for _, id := range first {
+		if !got[id] {
+			t.Fatalf("healthy submit to owner 0 missing id %d on shard 0 (got %v)", id, got)
+		}
+	}
+
+	// Shard 0 goes dark: dispatch failures past the threshold degrade
+	// it. (The pump is not running yet — PollResults was never called
+	// — so the dispatch path alone must trip the marker.)
+	gate.set(true)
+	down := ownedBy(0, 1, 100)
+	for i := 0; i < 2; i++ {
+		if err := submit(down); err == nil {
+			t.Fatal("submit to an unreachable shard succeeded")
+		}
+	}
+	if ms := fe.DegradedMembers(); len(ms) != 1 || ms[0] != 0 {
+		t.Fatalf("degraded members = %v, want [0]", ms)
+	}
+	st, err := fe.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedShards != 1 {
+		t.Fatalf("merged stats report %d degraded shards, want 1", st.DegradedShards)
+	}
+
+	// Spill: member 0's hash range now lands on the ring's next owner
+	// (member 1 — the only other shard) with no error.
+	spill := ownedBy(0, 3, 200)
+	if err := submit(spill); err != nil {
+		t.Fatalf("spill submit errored: %v", err)
+	}
+	got = pullIDs(conn1)
+	for _, id := range spill {
+		if !got[id] {
+			t.Fatalf("spilled id %d missing on shard 1 (got %v)", id, got)
+		}
+	}
+
+	// Recovery: the shard heals, the result pump's next successful
+	// poll un-degrades it, and placement returns to the primary.
+	if _, err := fe.PollResults(ctx, ResultsRequest{Max: 8}); err != nil {
+		t.Fatal(err) // starts the pumps
+	}
+	gate.set(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(fe.DegradedMembers()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ms := fe.DegradedMembers(); len(ms) != 0 {
+		t.Fatalf("shard never recovered: degraded members = %v", ms)
+	}
+	after := ownedBy(0, 2, 300)
+	if err := submit(after); err != nil {
+		t.Fatal(err)
+	}
+	got = pullIDs(gate)
+	for _, id := range after {
+		if !got[id] {
+			t.Fatalf("post-recovery id %d missing on shard 0 (got %v)", id, got)
+		}
+	}
+}

@@ -40,12 +40,12 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		&QueryMsg{ID: 7, Arrival: 12.5},
 		&QueryResponse{ID: 9, Variant: "sdturbo", Features: []float64{1, 2}, Confidence: 0.875, Deferred: true},
 		&PullRequest{WorkerID: 3, Role: "light", Max: 8, Wait: 0.25, Drain: true},
-		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}, RingEpoch: 3},
-		&CompleteRequest{WorkerID: 1, Role: "heavy", Items: []CompleteItem{{ID: 4, Variant: "sdv15", Features: []float64{3}}}},
+		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}, RingEpoch: 3, LeaseDeadline: 4.5},
+		&CompleteRequest{WorkerID: 1, Role: "heavy", LeaseDeadline: 6.25, Items: []CompleteItem{{ID: 4, Variant: "sdv15", Features: []float64{3}}}},
 		&ConfigureWorkerRequest{Role: "light", Batch: 8},
 		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25, RingEpoch: 2},
 		&WorkerStats{ID: 2, Role: "heavy", Batch: 4, Busy: true, Batches: 10, Queries: 40},
-		&LBStats{Now: 100, LightQueueLen: 3, Completed: 50},
+		&LBStats{Now: 100, LightQueueLen: 3, Completed: 50, InFlight: 4, Reclaims: 2, ShedRedelivery: 1, LateCompletions: 3, DegradedShards: 1},
 		&SubmitRequest{Queries: []QueryMsg{{ID: 5, Arrival: 1}}, Pool: "heavy"},
 		&ResultsRequest{Max: 64, Wait: 2},
 		&ResultsResponse{Results: []QueryResponse{{ID: 6, Variant: "sdturbo"}}},
@@ -111,6 +111,13 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(mkFrame(frameRequest, methodSubmit, codecIDJSON, 2, CodecJSON, &SubmitRequest{Queries: []QueryMsg{{ID: 1}}}, ""))
 	f.Add(mkFrame(frameResponse, methodLBStats, codecIDBinary, 3, CodecBinary, &LBStats{Completed: 5}, ""))
 	f.Add(mkFrame(frameError, methodComplete, codecIDBinary, 4, CodecBinary, nil, "boom"))
+	// Lease-era frames: a pull response carrying its lease deadline and
+	// a completion echoing one, in both codecs.
+	f.Add(mkFrame(frameResponse, methodPull, codecIDBinary, 5, CodecBinary,
+		&PullResponse{Queries: []QueryMsg{{ID: 2, Arrival: 1.5}}, RingEpoch: 1, LeaseDeadline: 9.75}, ""))
+	f.Add(mkFrame(frameRequest, methodComplete, codecIDJSON, 6, CodecJSON,
+		&CompleteRequest{WorkerID: 2, Role: "light", LeaseDeadline: 9.75,
+			Items: []CompleteItem{{ID: 2, Arrival: 1.5, Variant: "sdturbo", Confidence: 0.5}}}, ""))
 	f.Add(append(append([]byte(nil), valid...), 0xde, 0xad, 0xbe, 0xef))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 1, 1}) // 4 GiB declared length
 	f.Add([]byte{0, 0, 0, 0})                      // body shorter than header

@@ -212,17 +212,31 @@ func Run(cfg HarnessConfig) (*Result, error) {
 
 	// Watch for fatal transport failures (a TCP peer gone for good,
 	// dial retries exhausted): abort the run and surface the error
-	// instead of silently dropping the submitted queries.
+	// instead of silently dropping the submitted queries. Transient
+	// events — an injected fault from a FaultTransport, a conn that
+	// severed and recovered — are drained and ignored: a run under
+	// fault injection must survive its own chaos, not abort on it.
 	tpFailed := make(chan error, 1)
 	if ch := tp.Errors(); ch != nil {
 		go func() {
-			select {
-			case terr, ok := <-ch:
-				if ok && terr != nil {
-					tpFailed <- terr
+			for {
+				select {
+				case terr, ok := <-ch:
+					if !ok {
+						return
+					}
+					if terr == nil || IsTransientTransportError(terr) {
+						continue
+					}
+					select {
+					case tpFailed <- terr:
+					default:
+					}
 					cancel()
+					return
+				case <-ctx.Done():
+					return
 				}
-			case <-ctx.Done():
 			}
 		}()
 	}
@@ -255,6 +269,10 @@ func Run(cfg HarnessConfig) (*Result, error) {
 				}
 				return frontend.MemberConn(ms[id%len(ms)])
 			}
+			// A dead conn re-resolves through the same member lookup:
+			// if the worker's shard left the ring (or its conn died),
+			// the current membership supplies the replacement pin.
+			wCfg.Redial = wCfg.RePin
 		}
 		ws := NewWorkerServer(wCfg)
 		var err error

@@ -41,6 +41,34 @@ type LBConfig struct {
 	// "lb/<i>" so shards draw independent random-split decisions while
 	// staying deterministic for a given (Seed, shard) pair.
 	RNGStream string
+	// LeaseDuration is how long (trace seconds) a pulled query stays
+	// owned by its worker without further pull/complete activity from
+	// that worker. Past the deadline the expiry sweep reclaims the
+	// query and re-queues it into the pool it was pulled from, arrival
+	// stamp intact. Zero defaults to 4x the SLO — generous enough that
+	// a healthy worker never forfeits a batch mid-execution — and a
+	// negative value disables leasing entirely (pre-lease behavior: a
+	// dead worker's batch is silently lost).
+	LeaseDuration float64
+	// LeaseRedeliveries bounds how many times an unlucky query is
+	// reclaimed and re-queued before the server sheds it to a drop
+	// instead (a query that kills every worker it lands on must not
+	// cycle forever). Zero defaults to 3.
+	LeaseRedeliveries int
+}
+
+// lbLease is one pulled, uncompleted query's ownership record.
+type lbLease struct {
+	arrival float64
+	// deadline is the lease granted at pull time; hard caps how far
+	// worker heartbeats can push it. The cap is what reclaims a query
+	// whose pull response was lost in transit: the worker never saw the
+	// batch, but its later pulls keep heartbeating, so without the cap
+	// the orphaned lease would extend forever.
+	deadline, hard float64
+	worker         int
+	pool           string
+	red            int // times already reclaimed and re-queued
 }
 
 // lbPool is one pool's share of the data path: its FIFO, its long-poll
@@ -123,6 +151,18 @@ type LBServer struct {
 	// whole Complete batch signals once, not once per query.
 	wakeResults  notifier
 	resultsDirty bool
+
+	// leaseMu guards the pull-lease table. It is a leaf like the pool
+	// locks: it is never held while acquiring another LBServer lock,
+	// so it may be taken freely from any path (including under resMu).
+	leaseMu    sync.Mutex
+	leases     map[int]lbLease // query ID -> in-flight lease
+	workerSeen map[int]float64 // worker ID -> last pull/complete time
+	nextSweep  float64
+	// lifetime failure-model counters, surfaced through Stats
+	reclaims        int
+	shedRedelivery  int
+	lateCompletions int
 }
 
 // NewLBServer constructs a load balancer.
@@ -140,12 +180,22 @@ func NewLBServer(cfg LBConfig) *LBServer {
 	if stream == "" {
 		stream = "lb"
 	}
+	if cfg.LeaseDuration == 0 {
+		cfg.LeaseDuration = 4 * cfg.SLO
+	}
+	if cfg.LeaseRedeliveries <= 0 {
+		cfg.LeaseRedeliveries = 3
+	}
 	s := &LBServer{
 		cfg:     cfg,
 		rng:     stats.NewRNG(cfg.Seed).Stream(stream),
 		waiters: make(map[int]chan QueryResponse),
 		async:   make(map[int]struct{}),
 		col:     metrics.NewCollector(),
+	}
+	if cfg.LeaseDuration > 0 {
+		s.leases = make(map[int]lbLease)
+		s.workerSeen = make(map[int]float64)
 	}
 	s.pools[loadbalancer.PoolLight] = lbPool{
 		q: queueing.NewFIFO(cfg.QueueWindow), minExec: cfg.LightMinExec,
@@ -470,6 +520,9 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 	}
 	for {
 		now := s.cfg.Clock.Now()
+		// Heartbeat first, sweep if due: a reclaimed query re-queued by
+		// the sweep is pullable by this very call.
+		s.leaseTouch(req.WorkerID, now)
 		p.mu.Lock()
 		shed, items, retry := s.dequeuePool(p, req.Max, now)
 		var wake <-chan struct{}
@@ -493,6 +546,7 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 			for i, it := range items {
 				resp.Queries[i] = QueryMsg{ID: it.ID, Arrival: it.Arrival}
 			}
+			resp.LeaseDeadline = s.leaseBatch(req.WorkerID, req.Role, items, now)
 			return resp
 		}
 		if req.Wait <= 0 {
@@ -624,6 +678,7 @@ func (s *LBServer) handlePull(w http.ResponseWriter, r *http.Request) {
 // thresholded (serve or defer); heavy-pool results always serve.
 func (s *LBServer) Complete(req CompleteRequest) {
 	now := s.cfg.Clock.Now()
+	s.clearLeases(&req, now)
 	cascadeLight := req.Role == "light" && s.cfg.Mode == loadbalancer.ModeCascade
 
 	var deferred []queueing.Item
@@ -661,6 +716,179 @@ func (s *LBServer) dropRejected(items []queueing.Item) {
 	}
 	s.flushResultsLocked()
 	s.resMu.Unlock()
+}
+
+// leaseHardFactor caps how far heartbeats can extend a lease past its
+// grant: effective deadline <= grant + leaseHardFactor*LeaseDuration.
+// The cap is what reclaims a batch whose pull response was lost in
+// transit — the worker never received it, but its later pulls keep
+// heartbeating, so without the cap the orphaned lease would live
+// forever.
+const leaseHardFactor = 4
+
+// leasing reports whether pull leases are enabled.
+func (s *LBServer) leasing() bool { return s.leases != nil }
+
+// leaseTouch records worker activity (the lease heartbeat) and runs
+// the expiry sweep when its interval has elapsed. It is called on
+// every pull attempt and every completion, so in any cluster with at
+// least one live worker, dead workers' leases are reclaimed within a
+// sweep interval.
+func (s *LBServer) leaseTouch(workerID int, now float64) {
+	if !s.leasing() {
+		return
+	}
+	s.leaseMu.Lock()
+	s.workerSeen[workerID] = now
+	light, heavy, shed := s.collectExpiredLocked(now)
+	s.leaseMu.Unlock()
+	s.settleExpired(light, heavy, shed, now)
+}
+
+// sweepLeases runs the expiry sweep without attributing a heartbeat
+// (the Stats path: the controller's poll must reclaim a fully dead
+// worker set even when no worker is pulling).
+func (s *LBServer) sweepLeases(now float64) {
+	if !s.leasing() {
+		return
+	}
+	s.leaseMu.Lock()
+	light, heavy, shed := s.collectExpiredLocked(now)
+	s.leaseMu.Unlock()
+	s.settleExpired(light, heavy, shed, now)
+}
+
+// leaseBatch registers pulled items under a fresh lease for the
+// worker and returns the deadline echoed in the PullResponse. A
+// reclaimed item carries its redelivery count in Item.Payload, so the
+// bound survives the trip through the queue.
+func (s *LBServer) leaseBatch(workerID int, role string, items []queueing.Item, now float64) float64 {
+	if !s.leasing() {
+		return 0
+	}
+	pool := "light"
+	if role == "heavy" {
+		pool = "heavy"
+	}
+	dur := s.cfg.LeaseDuration
+	deadline := now + dur
+	s.leaseMu.Lock()
+	for _, it := range items {
+		red := 0
+		if v, ok := it.Payload.(int); ok {
+			red = v
+		}
+		s.leases[it.ID] = lbLease{
+			arrival: it.Arrival, deadline: deadline, hard: now + leaseHardFactor*dur,
+			worker: workerID, pool: pool, red: red,
+		}
+	}
+	s.leaseMu.Unlock()
+	return deadline
+}
+
+// clearLeases releases the leases of a completed batch (heartbeating
+// the reporting worker) and counts zombie reports: items whose lease
+// was already reclaimed — or resolved by someone else — before this
+// completion arrived. Only lease-aware reports (a nonzero echoed
+// deadline) are counted, so pre-lease clients do not inflate the
+// counter. The lease is released regardless of which worker holds it:
+// the query resolves (or re-queues as a deferral) under resMu right
+// after this, so any copy still leased elsewhere is moot.
+func (s *LBServer) clearLeases(req *CompleteRequest, now float64) {
+	if !s.leasing() {
+		return
+	}
+	s.leaseMu.Lock()
+	s.workerSeen[req.WorkerID] = now
+	for i := range req.Items {
+		if _, ok := s.leases[req.Items[i].ID]; ok {
+			delete(s.leases, req.Items[i].ID)
+		} else if req.LeaseDeadline > 0 {
+			s.lateCompletions++
+		}
+	}
+	light, heavy, shed := s.collectExpiredLocked(now)
+	s.leaseMu.Unlock()
+	s.settleExpired(light, heavy, shed, now)
+}
+
+// collectExpiredLocked removes every lease past its effective
+// deadline, splitting the expirations into per-pool re-queue lists
+// and a shed list (queries that exhausted their redelivery bound).
+// It self-throttles to one scan per quarter lease duration. Callers
+// must hold leaseMu.
+func (s *LBServer) collectExpiredLocked(now float64) (light, heavy, shed []queueing.Item) {
+	if now < s.nextSweep {
+		return nil, nil, nil
+	}
+	dur := s.cfg.LeaseDuration
+	s.nextSweep = now + dur/4
+	for id, l := range s.leases {
+		eff := l.deadline
+		if seen, ok := s.workerSeen[l.worker]; ok && seen+dur > eff {
+			eff = seen + dur
+		}
+		if eff > l.hard {
+			eff = l.hard
+		}
+		if now <= eff {
+			continue
+		}
+		delete(s.leases, id)
+		it := queueing.Item{ID: id, Arrival: l.arrival, Payload: l.red + 1}
+		switch {
+		case l.red+1 > s.cfg.LeaseRedeliveries:
+			shed = append(shed, it)
+			s.shedRedelivery++
+		case l.pool == "heavy":
+			heavy = append(heavy, it)
+			s.reclaims++
+		default:
+			light = append(light, it)
+			s.reclaims++
+		}
+	}
+	return light, heavy, shed
+}
+
+// settleExpired disposes of a sweep's harvest: redelivery-exhausted
+// queries resolve as drops, the rest re-queue into the pool they were
+// pulled from. This is the same exactly-once shape as the resharding
+// re-submit path (SubmitRequest.Pool): the arrival stamp rides along
+// untouched, nothing is re-counted as an arrival, and — because a
+// reclaim never crosses servers — the waiter/async registration is
+// still in place, so no re-registration happens at all. A query whose
+// registration is already gone (resolved by a zombie completion, or
+// its blocking Submit was cancelled) is skipped rather than
+// re-executed for nobody; a pool already draining for shutdown
+// refuses the push and the queries resolve as drops like any late
+// arrival.
+func (s *LBServer) settleExpired(light, heavy, shed []queueing.Item, now float64) {
+	if len(shed) > 0 {
+		s.dropRejected(shed)
+	}
+	requeue := func(dest loadbalancer.PoolID, items []queueing.Item) {
+		if len(items) == 0 {
+			return
+		}
+		live := items[:0]
+		s.resMu.Lock()
+		for _, it := range items {
+			if s.liveLocked(it.ID) {
+				live = append(live, it)
+			}
+		}
+		s.resMu.Unlock()
+		if len(live) == 0 {
+			return
+		}
+		if !s.pools[dest].push(now, live...) {
+			s.dropRejected(live)
+		}
+	}
+	requeue(loadbalancer.PoolLight, light)
+	requeue(loadbalancer.PoolHeavy, heavy)
 }
 
 // handleComplete serves completion reports.
@@ -794,6 +1022,10 @@ func (s *LBServer) handleConfigure(w http.ResponseWriter, r *http.Request) {
 // counters.
 func (s *LBServer) Stats() LBStats {
 	now := s.cfg.Clock.Now()
+	// The stats poll doubles as the sweep of last resort: with every
+	// worker dead nothing else ticks the lease table, and it is
+	// exactly then that reclamation matters most.
+	s.sweepLeases(now)
 	snap := func(p *lbPool) queueing.Snapshot {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -817,6 +1049,15 @@ func (s *LBServer) Stats() LBStats {
 	s.arrivals = 0
 	s.timeouts = 0
 	s.resMu.Unlock()
+
+	if s.leasing() {
+		s.leaseMu.Lock()
+		out.InFlight = len(s.leases)
+		out.Reclaims = s.reclaims
+		out.ShedRedelivery = s.shedRedelivery
+		out.LateCompletions = s.lateCompletions
+		s.leaseMu.Unlock()
+	}
 	return out
 }
 

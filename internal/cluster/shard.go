@@ -77,6 +77,13 @@ type ShardedLBConfig struct {
 	// PumpWait is the long-poll duration (trace seconds) of each
 	// background result pump. Zero defaults to 0.5.
 	PumpWait float64
+	// DegradeThreshold is the number of consecutive failed dispatches
+	// (or result-pump polls) against one shard before the frontend
+	// marks the member degraded: new submits spill to the ring's next
+	// owner and the degraded count surfaces in merged Stats, so the
+	// controller can trigger a reshard. The first success un-degrades.
+	// Zero defaults to 3; negative disables degradation.
+	DegradeThreshold int
 }
 
 // epochRing is one installed placement epoch: the ring plus the
@@ -180,6 +187,19 @@ type ShardedLB struct {
 	statsMu       sync.Mutex
 	carryArrivals int
 	carryTimeouts int
+
+	// Degradation state. A member that fails DegradeThreshold
+	// consecutive dispatches or pump polls is marked degraded; while
+	// marked, new submits owned by it spill to the ring's next owner
+	// (see shardFor) and the merged Stats report the count. The first
+	// success resets the streak and restores normal placement.
+	// degradeMu is a leaf lock (safe under ringMu); degradedN mirrors
+	// len(degraded) so the healthy-tier placement fast path is one
+	// atomic load, no lock.
+	degradeMu   sync.Mutex
+	memberFails map[int]int
+	degraded    map[int]bool
+	degradedN   atomic.Int32
 }
 
 // SplitShardAddrs parses a comma-separated shard address list,
@@ -249,6 +269,9 @@ func NewShardedLB(cfg ShardedLBConfig) (*ShardedLB, error) {
 	if cfg.PumpWait <= 0 {
 		cfg.PumpWait = 0.5
 	}
+	if cfg.DegradeThreshold == 0 {
+		cfg.DegradeThreshold = 3
+	}
 	members := cfg.Members
 	if members == nil {
 		members = make([]int, len(cfg.Shards))
@@ -276,10 +299,12 @@ func NewShardedLB(cfg ShardedLBConfig) (*ShardedLB, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &ShardedLB{
 		cfg: cfg, ctx: ctx, cancel: cancel,
-		epochs:  []epochRing{e},
-		retired: map[int]LBConn{},
-		pumped:  map[int]bool{},
-		sweep:   append([]LBConn(nil), e.conns...),
+		epochs:      []epochRing{e},
+		retired:     map[int]LBConn{},
+		pumped:      map[int]bool{},
+		sweep:       append([]LBConn(nil), e.conns...),
+		memberFails: map[int]int{},
+		degraded:    map[int]bool{},
 	}, nil
 }
 
@@ -350,6 +375,90 @@ func (s *ShardedLB) Close() {
 	s.pumps.Wait()
 }
 
+// shardFor returns the slot index query id routes to under cur:
+// normally the ring owner, but a degraded owner's new submits spill to
+// the ring's next owner while it is marked, so an unreachable shard
+// does not blackhole its hash range. The spill target must itself be a
+// current, healthy member; otherwise the primary keeps the query — a
+// degraded shard is slow or unreachable, not forgotten, and whatever
+// lands there still resolves once it recovers (or is migrated when the
+// controller reshards it away). Callers hold ringMu for reading.
+func (s *ShardedLB) shardFor(cur *epochRing, id int) int {
+	owner := cur.ring.Owner(id)
+	if s.degradedN.Load() == 0 {
+		return cur.slot[owner]
+	}
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if !s.degraded[owner] {
+		return cur.slot[owner]
+	}
+	if next := cur.ring.NextOwner(id); next != owner && !s.degraded[next] {
+		if i, ok := cur.slot[next]; ok {
+			return i
+		}
+	}
+	return cur.slot[owner]
+}
+
+// recordDispatch feeds one per-shard call outcome into the degradation
+// tracker: failures extend the member's streak (degrading it at the
+// threshold), a success resets it.
+func (s *ShardedLB) recordDispatch(member int, err error) {
+	if err != nil {
+		s.recordMemberFailure(member)
+	} else {
+		s.recordMemberSuccess(member)
+	}
+}
+
+// recordMemberFailure counts one failed dispatch or pump poll against
+// a member, marking it degraded at the configured threshold.
+func (s *ShardedLB) recordMemberFailure(m int) {
+	if s.cfg.DegradeThreshold <= 0 {
+		return
+	}
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	s.memberFails[m]++
+	if s.memberFails[m] >= s.cfg.DegradeThreshold && !s.degraded[m] {
+		s.degraded[m] = true
+		s.degradedN.Add(1)
+	}
+}
+
+// recordMemberSuccess resets a member's failure streak and, if it was
+// degraded, restores normal placement for its hash range.
+func (s *ShardedLB) recordMemberSuccess(m int) {
+	if s.cfg.DegradeThreshold <= 0 {
+		return
+	}
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if s.memberFails[m] == 0 && !s.degraded[m] {
+		return
+	}
+	s.memberFails[m] = 0
+	if s.degraded[m] {
+		delete(s.degraded, m)
+		s.degradedN.Add(-1)
+	}
+}
+
+// DegradedMembers returns the member IDs currently marked degraded,
+// sorted ascending. The controller reads the count from merged Stats
+// (LBStats.DegradedShards); tests and operators read identities here.
+func (s *ShardedLB) DegradedMembers() []int {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	out := make([]int, 0, len(s.degraded))
+	for m := range s.degraded {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Submit admits one query on its owning shard (under the current
 // epoch) and blocks until it completes or drops. Unlike SubmitBatch,
 // the ring lock cannot be held for the call's duration (a blocking
@@ -362,7 +471,7 @@ func (s *ShardedLB) Close() {
 func (s *ShardedLB) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
 	s.ringMu.RLock()
 	cur := s.cur()
-	conn := cur.conn(cur.ring.Owner(q.ID))
+	conn := cur.conns[s.shardFor(cur, q.ID)]
 	s.ringMu.RUnlock()
 	return conn.Submit(ctx, q)
 }
@@ -378,11 +487,13 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 	cur := s.cur()
 	n := len(cur.conns)
 	if n == 1 {
-		return cur.conns[0].SubmitBatch(ctx, req)
+		err := cur.conns[0].SubmitBatch(ctx, req)
+		s.recordDispatch(cur.members[0], err)
+		return err
 	}
 	groups := make([][]QueryMsg, n)
 	for _, q := range req.Queries {
-		sh := cur.slot[cur.ring.Owner(q.ID)]
+		sh := s.shardFor(cur, q.ID)
 		groups[sh] = append(groups[sh], q)
 	}
 	errs := make([]error, n)
@@ -395,6 +506,7 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 		go func(i int, g []QueryMsg) {
 			defer wg.Done()
 			errs[i] = cur.conns[i].SubmitBatch(ctx, SubmitRequest{Queries: g, Pool: req.Pool})
+			s.recordDispatch(cur.members[i], errs[i])
 		}(i, g)
 	}
 	wg.Wait()
@@ -424,7 +536,7 @@ func (s *ShardedLB) startPumps() {
 		if !s.pumped[m] {
 			s.pumped[m] = true
 			s.pumps.Add(1)
-			go s.pump(conns[i])
+			go s.pump(m, conns[i])
 		}
 	}
 	s.pumpsUp.Store(true)
@@ -436,7 +548,12 @@ func (s *ShardedLB) startPumps() {
 // popped, and dropping it would lose resolved queries. Retired
 // shards keep their pump — stragglers completed there after a
 // reshard still surface in the merged stream.
-func (s *ShardedLB) pump(conn LBConn) {
+//
+// The pump doubles as the degradation tracker's health probe: poll
+// failures extend the member's failure streak, and each successful
+// poll — empty or not — resets it, which is what un-degrades a shard
+// that came back without any new submits being risked on it first.
+func (s *ShardedLB) pump(member int, conn LBConn) {
 	defer s.pumps.Done()
 	for s.ctx.Err() == nil {
 		resp, err := conn.PollResults(s.ctx, ResultsRequest{Max: 1024, Wait: s.cfg.PumpWait})
@@ -449,8 +566,13 @@ func (s *ShardedLB) pump(conn LBConn) {
 		if err != nil {
 			// Transient transport failure (or shutdown): back off so a
 			// dead shard cannot spin the pump.
+			if s.ctx.Err() == nil {
+				s.recordMemberFailure(member)
+			}
 			s.cfg.Clock.SleepTraceCtx(s.ctx, 0.05)
+			continue
 		}
+		s.recordMemberSuccess(member)
 	}
 }
 
@@ -762,7 +884,15 @@ func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
 		out.TimeoutsSinceTick += st.TimeoutsSinceTick
 		out.Completed += st.Completed
 		out.Dropped += st.Dropped
+		out.InFlight += st.InFlight
+		out.Reclaims += st.Reclaims
+		out.ShedRedelivery += st.ShedRedelivery
+		out.LateCompletions += st.LateCompletions
+		out.DegradedShards += st.DegradedShards
 	}
+	// The frontend's own degradation view rides on top of whatever the
+	// shards reported (an LBServer never sets DegradedShards itself).
+	out.DegradedShards += int(s.degradedN.Load())
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	if firstErr != nil {
@@ -898,7 +1028,7 @@ func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns m
 			if !s.pumped[m] {
 				s.pumped[m] = true
 				s.pumps.Add(1)
-				go s.pump(next.conns[i])
+				go s.pump(m, next.conns[i])
 			}
 		}
 	}

@@ -125,9 +125,17 @@ type PullRequest struct {
 // epoch the server last learned via ConfigureLBRequest: workers
 // compare it against the epoch they pinned under and re-pin when the
 // tier's membership has moved on.
+//
+// LeaseDeadline is the absolute trace time until which the server
+// considers the pulled queries owned by this worker. Worker activity
+// (further pulls or completions) heartbeats the lease forward; a
+// worker that goes silent past the deadline forfeits the batch — the
+// server's expiry sweep reclaims and re-queues it. Zero means the
+// server is not leasing (leases disabled).
 type PullResponse struct {
-	Queries   []QueryMsg `json:"queries"`
-	RingEpoch int        `json:"ring_epoch,omitempty"`
+	Queries       []QueryMsg `json:"queries"`
+	RingEpoch     int        `json:"ring_epoch,omitempty"`
+	LeaseDeadline float64    `json:"lease_deadline,omitempty"`
 }
 
 // CompleteItem is one finished generation.
@@ -141,10 +149,18 @@ type CompleteItem struct {
 }
 
 // CompleteRequest reports a finished batch back to the load balancer.
+//
+// LeaseDeadline echoes the deadline the batch was pulled under (zero
+// from pre-lease clients). The server uses it to tell a live
+// completion from a zombie one — a worker reporting work whose lease
+// already expired and was reclaimed. Zombie items still resolve
+// idempotently (the first resolution is final either way); the echo
+// only feeds the late-completion counter the control plane watches.
 type CompleteRequest struct {
-	WorkerID int            `json:"worker_id"`
-	Role     string         `json:"role"`
-	Items    []CompleteItem `json:"items"`
+	WorkerID      int            `json:"worker_id"`
+	Role          string         `json:"role"`
+	Items         []CompleteItem `json:"items"`
+	LeaseDeadline float64        `json:"lease_deadline,omitempty"`
 }
 
 // ConfigureWorkerRequest reassigns a worker.
@@ -175,6 +191,16 @@ type WorkerStats struct {
 }
 
 // LBStats is the load balancer's control-plane report.
+//
+// The lease fields account for the failure model: InFlight is the
+// number of currently leased (pulled, uncompleted) queries, Reclaims
+// the lifetime count of queries re-queued after their worker's lease
+// expired, ShedRedelivery the lifetime count dropped after exhausting
+// the redelivery bound, and LateCompletions the lifetime count of
+// completion items reported by a worker whose lease had already been
+// reclaimed. DegradedShards is only set by the sharded frontend's
+// merged report: the number of shards currently marked unreachable —
+// a nonzero value is the controller's cue to reshard around them.
 type LBStats struct {
 	Now               float64 `json:"now"` // trace time, seconds
 	LightQueueLen     int     `json:"light_queue_len"`
@@ -185,6 +211,11 @@ type LBStats struct {
 	TimeoutsSinceTick int     `json:"timeouts_since_tick"`
 	Completed         int     `json:"completed"`
 	Dropped           int     `json:"dropped"`
+	InFlight          int     `json:"in_flight,omitempty"`
+	Reclaims          int     `json:"reclaims,omitempty"`
+	ShedRedelivery    int     `json:"shed_redelivery,omitempty"`
+	LateCompletions   int     `json:"late_completions,omitempty"`
+	DegradedShards    int     `json:"degraded_shards,omitempty"`
 }
 
 // postJSON is the shared JSON-over-HTTP helper (pre-codec wire path,

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"net/http"
 	"sync"
 
@@ -43,6 +44,21 @@ type WorkerConfig struct {
 	// pulled always completes to the connection it was pulled from,
 	// because that shard holds the queries' registrations.
 	RePin func(epoch int) LBConn
+	// Redial, when set, is consulted after RedialAfter consecutive
+	// pull failures: it returns a fresh connection to the worker's
+	// shard (nil keeps the current one). It reuses the re-pin
+	// machinery's shape — the harness typically wires both to the same
+	// member lookup — so a conn that died for good is replaced instead
+	// of being error-polled forever.
+	Redial func(epoch int) LBConn
+	// RedialAfter is the consecutive-pull-failure threshold that
+	// triggers Redial (0 defaults to 3).
+	RedialAfter int
+	// CompleteRetries is the number of tries a completion report gets
+	// before the worker gives up and lets the lease sweep reclaim the
+	// batch (0 defaults to 4). Retries back off exponentially from
+	// PollInterval with deterministic per-worker jitter.
+	CompleteRetries int
 }
 
 // WorkerServer simulates one GPU worker: it long-polls batches from
@@ -52,6 +68,7 @@ type WorkerConfig struct {
 // reports completions.
 type WorkerServer struct {
 	cfg WorkerConfig
+	rng *rand.Rand // completion-retry jitter; guarded by mu
 
 	mu    sync.Mutex
 	state *worker.Worker
@@ -66,8 +83,15 @@ func NewWorkerServer(cfg WorkerConfig) *WorkerServer {
 	if cfg.PullWait <= 0 {
 		cfg.PullWait = 0.25
 	}
+	if cfg.RedialAfter <= 0 {
+		cfg.RedialAfter = 3
+	}
+	if cfg.CompleteRetries <= 0 {
+		cfg.CompleteRetries = 4
+	}
 	return &WorkerServer{
 		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(int64(cfg.ID)*0x9e3779b9 + 17)),
 		state: worker.New(cfg.ID),
 	}
 }
@@ -165,6 +189,7 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 	// it came from even if the worker re-pins before execution ends.
 	lb := s.cfg.LB
 	epoch := 0
+	pullFails := 0
 	for ctx.Err() == nil {
 		now := s.cfg.Clock.Now()
 		s.mu.Lock()
@@ -184,14 +209,24 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch, Wait: s.cfg.PullWait,
 		})
 		if err != nil {
-			// Transient transport failure: back off briefly.
+			// Transient transport failure: back off briefly. Past the
+			// redial threshold the conn is presumed dead for good —
+			// replace it rather than error-polling a corpse.
+			pullFails++
+			if pullFails >= s.cfg.RedialAfter && s.cfg.Redial != nil {
+				if c := s.cfg.Redial(epoch); c != nil {
+					lb = c
+					pullFails = 0
+				}
+			}
 			if !s.cfg.Clock.SleepTraceCtx(ctx, s.cfg.PollInterval) {
 				return
 			}
 			continue
 		}
+		pullFails = 0
 		if len(pulled.Queries) > 0 {
-			s.executeBatch(ctx, role, lb, pulled.Queries)
+			s.executeBatch(ctx, role, lb, pulled)
 		}
 		if pulled.RingEpoch > epoch {
 			// The tier resharded: re-pin after the in-flight batch has
@@ -208,7 +243,8 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 
 // executeBatch simulates execution and reports completions to lb, the
 // connection the batch was pulled from.
-func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LBConn, queries []QueryMsg) {
+func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LBConn, pulled PullResponse) {
+	queries := pulled.Queries
 	n := len(queries)
 	variant := s.cfg.Light
 	if role == worker.RoleHeavy {
@@ -230,7 +266,9 @@ func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LB
 	finished := s.cfg.Clock.SleepTraceCtx(ctx, exec)
 
 	if finished {
-		req := CompleteRequest{WorkerID: s.cfg.ID, Role: roleName(role)}
+		req := CompleteRequest{
+			WorkerID: s.cfg.ID, Role: roleName(role), LeaseDeadline: pulled.LeaseDeadline,
+		}
 		req.Items = make([]CompleteItem, 0, n)
 		for _, q := range queries {
 			query := s.cfg.Space.SampleQuery(q.ID)
@@ -244,9 +282,23 @@ func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LB
 			}
 			req.Items = append(req.Items, item)
 		}
-		// Completion failures are dropped queries from the client's
-		// view; nothing to retry meaningfully in a lossy run.
-		_ = lb.Complete(ctx, req)
+		// A lost completion used to be a lost batch. Retry with
+		// jittered exponential backoff; if every try fails, the lease
+		// sweep reclaims and re-runs the batch — server-side
+		// idempotent resolve makes the duplicate execution harmless.
+		backoff := s.cfg.PollInterval
+		for try := 1; ; try++ {
+			if lb.Complete(ctx, req) == nil || try >= s.cfg.CompleteRetries || ctx.Err() != nil {
+				break
+			}
+			s.mu.Lock()
+			jitter := 0.5 + s.rng.Float64()
+			s.mu.Unlock()
+			if !s.cfg.Clock.SleepTraceCtx(ctx, backoff*jitter) {
+				break
+			}
+			backoff *= 2
+		}
 	}
 
 	s.mu.Lock()

@@ -199,6 +199,44 @@ func (r *Ring) Owner(id int) int {
 	return r.members[r.owners[i]]
 }
 
+// NextOwner returns the first member clockwise of id's hash whose ID
+// differs from the primary owner — the spill target a frontend uses
+// when the primary is unreachable (degraded). Walking the vnode circle
+// (rather than the sorted member list) keeps the spill assignment
+// consistent: every frontend computes the same fallback for a given
+// ID, and keys spill to different successors instead of piling onto
+// one neighbor. A modulus ring uses the next member index; a ring with
+// fewer than two members has no distinct successor and returns the
+// primary (or -1 when empty).
+func (r *Ring) NextOwner(id int) int {
+	n := len(r.members)
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		return r.members[0]
+	}
+	if r.modulus {
+		return r.members[(ShardOf(id, n)+1)%n]
+	}
+	h := hash64(uint64(id))
+	i := int(r.table[h>>r.shift])
+	for i < len(r.hashes) && r.hashes[i] < h {
+		i++
+	}
+	if i == len(r.hashes) {
+		i = 0
+	}
+	primary := r.owners[i]
+	for step := 1; step <= len(r.owners); step++ {
+		j := (i + step) % len(r.owners)
+		if r.owners[j] != primary {
+			return r.members[r.owners[j]]
+		}
+	}
+	return r.members[primary]
+}
+
 // Members returns the ring's membership, sorted ascending.
 func (r *Ring) Members() []int {
 	out := make([]int, len(r.members))

@@ -34,6 +34,14 @@ go test -race -short -count=2 \
 go test -race -short -count=2 \
 	-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
 	./internal/cluster/
+# race-chaos leg: the fault-tolerance machinery — pull-lease expiry
+# sweeps and reclamation, retrying conns healing through scripted
+# severs, worker churn under injected drops/latency, controller
+# conservative failover, and shard degradation/spill — raced under the
+# detector with exactly-once accounting.
+go test -race -count=2 \
+	-run 'TestChaosWorkerChurnNoLostQueries|TestTransportConformance/.*/lease-reclaim-exactly-once|TestTransportConformance/.*/retry-after-sever|TestControllerConservativeFailover|TestShardedLBDegradeSpill' \
+	./internal/cluster/
 go test -race ./internal/loadbalancer/
 # bench-ring smoke: the consistent-hash lookup must stay within 2x of
 # the static-modulus ShardOf (full numbers in PERFORMANCE.md).
