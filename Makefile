@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard chaos-soak fuzz-smoke
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard chaos-soak fuzz-smoke allocs-gate poison-test
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -34,15 +34,41 @@ bench-perf:
 # bench-wire runs the cluster wire-path benchmarks: codec
 # encode/decode and the end-to-end submit/pull/complete/results cycle
 # across the json, binary, tcp, and inproc transports (see
-# PERFORMANCE.md).
+# PERFORMANCE.md). The machine-readable summary lands in
+# BENCH_wire.json via cmd/benchjson.
 bench-wire:
-	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/
+	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/)" \
+		|| { echo "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -out BENCH_wire.json
 
 # bench-shard measures aggregate submit throughput of the sharded LB
 # tier vs a single LBServer (see PERFORMANCE.md's "Sharded LB tier"
-# table; acceptance bar: >= 1.5x at 2 shards).
+# table; acceptance bar: >= 1.5x at 2 shards). Summary in
+# BENCH_shard.json.
 bench-shard:
-	$(GO) test -run '^$$' -bench 'BenchmarkShardedSubmit' -benchmem ./internal/cluster/
+	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkShardedSubmit' -benchmem ./internal/cluster/)" \
+		|| { echo "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -out BENCH_shard.json
+
+# allocs-gate pins the zero-allocation wire path: the end-to-end
+# tcp/binary cycle must stay within 16 allocs/op (8 queries/op, so
+# <= 2 allocs per query) and the in-process transport within 8.
+# Baseline before pooling: tcp 73 allocs/op (see PERFORMANCE.md).
+allocs-gate:
+	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkWirePath' -benchmem -count=1 ./internal/cluster/)" \
+		|| { echo "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson \
+		-max-allocs 'BenchmarkWirePath/tcp=16,BenchmarkWirePath/inproc=8'
+
+# poison-test re-runs the cluster suite with recycled buffers filled
+# with NaN sentinels on release (see pool_poison.go): any read or
+# resolve of a buffer the pool already owns fails loudly instead of
+# silently serving stale floats. The full suite runs without the race
+# detector; the race leg is -short because the ~10x slowdown distorts
+# the wall-clock-calibrated harness assertions.
+poison-test:
+	$(GO) test -tags poolpoison ./internal/cluster/
+	$(GO) test -race -short -tags poolpoison ./internal/cluster/
 
 # bench-ring compares the consistent-hash ring lookup against the
 # static-modulus ShardOf baseline (acceptance bar: ring within 2x).

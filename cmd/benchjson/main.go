@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// summary and optionally enforces an allocation budget.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH.json
+//	go test -run '^$' -bench WirePath -benchmem ./... | benchjson -max-allocs 'BenchmarkWirePath/tcp=16'
+//
+// The benchmark text passes through to stdout unchanged, so the tool
+// can sit at the end of a Makefile pipe without hiding the readable
+// report. -max-allocs takes comma-separated name=budget pairs (names
+// without the -GOMAXPROCS suffix); a named benchmark that is missing
+// from the input or exceeds its budget fails the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line. B/op and allocs/op are -1 when
+// the run did not use -benchmem.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Unit       string        `json:"unit"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON summary to this file")
+	maxAllocs := flag.String("max-allocs", "", "comma-separated name=budget allocs/op gates, e.g. 'BenchmarkWirePath/tcp=16'")
+	flag.Parse()
+
+	budgets, err := parseBudgets(*maxAllocs)
+	if err != nil {
+		fatal(err)
+	}
+
+	report := benchReport{Unit: "ns/op, B/op, allocs/op", Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // passthrough: keep the readable report
+		if r, ok := parseBenchLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	}
+
+	if len(budgets) > 0 {
+		if err := gate(report.Benchmarks, budgets); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func parseBudgets(spec string) (map[string]int64, error) {
+	budgets := map[string]int64{}
+	if spec == "" {
+		return budgets, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -max-allocs entry %q (want name=budget)", pair)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -max-allocs budget %q: %v", pair, err)
+		}
+		budgets[name] = n
+	}
+	return budgets, nil
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkWirePath/tcp-8   1234   43210 ns/op   6409 B/op   14 allocs/op
+func parseBenchLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: trimProcs(f[0]), Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(f); i += 2 {
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(f[i], 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+		}
+	}
+	return r, true
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to each
+// benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// gate enforces the allocs/op budgets. Every named benchmark must be
+// present — a gate that silently passes when its benchmark vanished
+// is worse than no gate.
+func gate(results []benchResult, budgets map[string]int64) error {
+	byName := map[string]benchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for name, budget := range budgets {
+		r, ok := byName[name]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: not found in input", name))
+		case r.AllocsPerOp < 0:
+			failures = append(failures, fmt.Sprintf("%s: no allocs/op (run with -benchmem)", name))
+		case r.AllocsPerOp > budget:
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, r.AllocsPerOp, budget))
+		default:
+			fmt.Fprintf(os.Stderr, "allocs-gate: %s %d allocs/op <= budget %d\n", name, r.AllocsPerOp, budget)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation budget exceeded:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

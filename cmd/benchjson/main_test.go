@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkWirePath/tcp-8   \t 1234\t     43210 ns/op\t    6409 B/op\t      14 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	want := benchResult{Name: "BenchmarkWirePath/tcp", Iterations: 1234, NsPerOp: 43210, BytesPerOp: 6409, AllocsPerOp: 14}
+	if r != want {
+		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+
+	// Without -benchmem the memory columns are absent, not zero.
+	r, ok = parseBenchLine("BenchmarkRingLookup-8   999   55.5 ns/op")
+	if !ok || r.NsPerOp != 55.5 || r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tdiffserve/internal/cluster\t4.2s",
+		"--- BENCH: BenchmarkX",
+		"BenchmarkBroken notanumber 1 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("non-result line parsed: %q", line)
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkWirePath/tcp-8":  "BenchmarkWirePath/tcp",
+		"BenchmarkWirePath/tcp-16": "BenchmarkWirePath/tcp",
+		"BenchmarkFig5":            "BenchmarkFig5",
+		"BenchmarkX/sub-case":      "BenchmarkX/sub-case",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	results := []benchResult{
+		{Name: "BenchmarkWirePath/tcp", AllocsPerOp: 14},
+		{Name: "BenchmarkWirePath/json", AllocsPerOp: 552},
+		{Name: "BenchmarkNoMem", AllocsPerOp: -1},
+	}
+	if err := gate(results, map[string]int64{"BenchmarkWirePath/tcp": 16}); err != nil {
+		t.Fatalf("within budget but failed: %v", err)
+	}
+	if err := gate(results, map[string]int64{"BenchmarkWirePath/tcp": 13}); err == nil {
+		t.Fatal("over budget but passed")
+	}
+	if err := gate(results, map[string]int64{"BenchmarkGone": 1}); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("missing benchmark must fail the gate, got %v", err)
+	}
+	if err := gate(results, map[string]int64{"BenchmarkNoMem": 1}); err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("missing allocs column must fail the gate, got %v", err)
+	}
+}
+
+func TestParseBudgets(t *testing.T) {
+	b, err := parseBudgets("BenchmarkWirePath/tcp=16, BenchmarkWirePath/inproc=8")
+	if err != nil || b["BenchmarkWirePath/tcp"] != 16 || b["BenchmarkWirePath/inproc"] != 8 {
+		t.Fatalf("parseBudgets = %v, %v", b, err)
+	}
+	if _, err := parseBudgets("nobudget"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if _, err := parseBudgets("x=abc"); err == nil {
+		t.Fatal("non-numeric budget accepted")
+	}
+	if b, err := parseBudgets(""); err != nil || len(b) != 0 {
+		t.Fatalf("empty spec: %v, %v", b, err)
+	}
+}

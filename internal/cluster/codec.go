@@ -509,12 +509,19 @@ func (d *bdec) str() string {
 		d.fail("truncated string")
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	// Wire strings are low-cardinality (roles, pool names, variant
+	// names), so interning makes repeat decodes allocation-free.
+	s := internString(d.buf[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s
 }
 
-func (d *bdec) floats() []float64 {
+// floatsInto decodes a length-prefixed float slice, reusing prev's
+// backing array when it has the capacity. Decoding into a message
+// that already carries a feature buffer from an earlier frame is the
+// arena-reuse half of the zero-allocation wire path; the caller must
+// own prev exclusively.
+func (d *bdec) floatsInto(prev []float64) []float64 {
 	n := d.uint()
 	if d.err != nil || n == 0 {
 		return nil
@@ -525,7 +532,15 @@ func (d *bdec) floats() []float64 {
 		d.fail("truncated float slice")
 		return nil
 	}
-	out := make([]float64, n)
+	var out []float64
+	if uint64(cap(prev)) >= n {
+		out = prev[:n]
+		if out == nil {
+			out = []float64{} // wire says empty, not nil
+		}
+	} else {
+		out = make([]float64, n)
+	}
 	for i := range out {
 		out[i] = d.f64()
 	}
@@ -557,7 +572,7 @@ func readQueryResponse(d *bdec, m *QueryResponse) {
 	m.ID = d.int()
 	m.Dropped = d.bool()
 	m.Variant = d.str()
-	m.Features = d.floats()
+	m.Features = d.floatsInto(m.Features)
 	m.Artifact = d.f64()
 	m.Confidence = d.f64()
 	m.Deferred = d.bool()
@@ -573,12 +588,26 @@ func readPullRequest(d *bdec, m *PullRequest) {
 	m.Drain = d.bool()
 }
 
+// Slice-valued messages decode with capacity reuse: when the target
+// already holds a slice with room (left over from a previous decode
+// into the same struct), its backing array is reused instead of
+// reallocated. Every element field is overwritten, so stale contents
+// never leak; a nil count still yields nil, preserving the codec's
+// nil-vs-empty parity with JSON.
+
 func readPullResponse(d *bdec, m *PullResponse) {
 	n := d.count()
 	if n < 0 {
 		m.Queries = nil
 	} else {
-		m.Queries = make([]QueryMsg, n)
+		if cap(m.Queries) >= n {
+			m.Queries = m.Queries[:n]
+		} else {
+			m.Queries = make([]QueryMsg, n)
+		}
+		if m.Queries == nil {
+			m.Queries = []QueryMsg{} // wire says empty, not nil
+		}
 		for i := range m.Queries {
 			readQueryMsg(d, &m.Queries[i])
 		}
@@ -594,13 +623,20 @@ func readCompleteRequest(d *bdec, m *CompleteRequest) {
 	if n < 0 {
 		m.Items = nil
 	} else {
-		m.Items = make([]CompleteItem, n)
+		if cap(m.Items) >= n {
+			m.Items = m.Items[:n]
+		} else {
+			m.Items = make([]CompleteItem, n)
+		}
+		if m.Items == nil {
+			m.Items = []CompleteItem{} // wire says empty, not nil
+		}
 		for i := range m.Items {
 			it := &m.Items[i]
 			it.ID = d.int()
 			it.Arrival = d.f64()
 			it.Variant = d.str()
-			it.Features = d.floats()
+			it.Features = d.floatsInto(it.Features)
 			it.Artifact = d.f64()
 			it.Confidence = d.f64()
 		}
@@ -639,7 +675,14 @@ func readSubmitRequest(d *bdec, m *SubmitRequest) {
 	if n < 0 {
 		m.Queries = nil
 	} else {
-		m.Queries = make([]QueryMsg, n)
+		if cap(m.Queries) >= n {
+			m.Queries = m.Queries[:n]
+		} else {
+			m.Queries = make([]QueryMsg, n)
+		}
+		if m.Queries == nil {
+			m.Queries = []QueryMsg{} // wire says empty, not nil
+		}
 		for i := range m.Queries {
 			readQueryMsg(d, &m.Queries[i])
 		}
@@ -653,7 +696,14 @@ func readResultsResponse(d *bdec, m *ResultsResponse) {
 		m.Results = nil
 		return
 	}
-	m.Results = make([]QueryResponse, n)
+	if cap(m.Results) >= n {
+		m.Results = m.Results[:n]
+	} else {
+		m.Results = make([]QueryResponse, n)
+	}
+	if m.Results == nil {
+		m.Results = []QueryResponse{} // wire says empty, not nil
+	}
 	for i := range m.Results {
 		d.tag(tagQueryResponse)
 		readQueryResponse(d, &m.Results[i])

@@ -479,6 +479,130 @@ func testTransportConformance(t *testing.T, tc transportCase) {
 		}
 	})
 
+	t.Run("buffer-reuse-no-alias", func(t *testing.T) {
+		// The reuse discipline's user-visible guarantee: a delivered
+		// result belongs to the caller alone. Scribbling over the
+		// buffers the caller handed in (completion features), then
+		// churning more traffic through the conn — recycling every
+		// frame, pooled decode target, correlation slot, and dequeue
+		// scratch the first query used, including one lease-reclaim
+		// re-submit round — must not change a result already delivered
+		// into a different response struct.
+		tp := tc.mk()
+		defer tp.Close()
+		clock := NewClock(0.001)
+		lb := NewLBServer(LBConfig{
+			Mode: loadbalancer.ModeCascade, SLO: 1e9,
+			LightMinExec: 0.1, HeavyMinExec: 1.78,
+			Clock: clock, Seed: 1, CoalesceWait: 1e-9,
+			LeaseDuration: 0.5,
+		})
+		conn := serveTestLB(t, tp, lb)
+		ctx := context.Background()
+
+		var pulled PullResponse
+		resolve := func(id, workerID int, feats []float64) {
+			t.Helper()
+			if err := conn.SubmitBatch(ctx, SubmitRequest{Queries: []QueryMsg{{ID: id, Arrival: 0.25}}}); err != nil {
+				t.Fatal(err)
+			}
+			err := PullIntoConn(ctx, conn, PullRequest{WorkerID: workerID, Role: "light", Max: 8, Wait: 5}, &pulled)
+			if err != nil || len(pulled.Queries) != 1 {
+				t.Fatalf("pull = %+v, %v", pulled, err)
+			}
+			err = conn.Complete(ctx, CompleteRequest{
+				WorkerID: workerID, Role: "light", LeaseDeadline: pulled.LeaseDeadline,
+				Items: []CompleteItem{{
+					ID: id, Arrival: 0.25, Variant: "sdturbo", Features: feats, Confidence: 0.9,
+				}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Resolve query 1 with features the caller scribbles over the
+		// moment Complete returns: the server must hold its own copy.
+		featsA := []float64{10, 20, 30, 40}
+		resolve(1, 1, featsA)
+		for i := range featsA {
+			featsA[i] = -999
+		}
+
+		var delivered ResultsResponse
+		err := PollResultsIntoConn(ctx, conn, ResultsRequest{Max: 8, Wait: 5}, &delivered)
+		if err != nil || len(delivered.Results) != 1 {
+			t.Fatalf("poll = %+v, %v", delivered, err)
+		}
+		want := []float64{10, 20, 30, 40}
+		checkDelivered := func(r QueryResponse) {
+			t.Helper()
+			if r.ID != 1 || len(r.Features) != len(want) {
+				t.Fatalf("delivered result = %+v", r)
+			}
+			for i := range want {
+				if r.Features[i] != want[i] {
+					t.Fatalf("delivered features corrupted by buffer reuse: %v", r.Features)
+				}
+			}
+		}
+		checkDelivered(delivered.Results[0])
+
+		// Churn: distinct feature values cycle through the same pooled
+		// buffers, polled into a DIFFERENT response struct.
+		churnFeats := []float64{-1, -2, -3, -4}
+		for id := 2; id <= 5; id++ {
+			resolve(id, 1, churnFeats)
+		}
+		var churn ResultsResponse
+		got := 0
+		for got < 4 {
+			if err := PollResultsIntoConn(ctx, conn, ResultsRequest{Max: 8, Wait: 5}, &churn); err != nil || len(churn.Results) == 0 {
+				t.Fatalf("churn poll = %v", err)
+			}
+			got += len(churn.Results)
+		}
+
+		// One lease-reclaim round: worker 1 pulls and goes silent, the
+		// sweep re-queues the batch through the pooled dequeue scratch,
+		// worker 2 re-pulls it, and both completions land.
+		if err := conn.SubmitBatch(ctx, SubmitRequest{Queries: []QueryMsg{{ID: 6, Arrival: 0.25}}}); err != nil {
+			t.Fatal(err)
+		}
+		pullA, err := conn.Pull(ctx, PullRequest{WorkerID: 1, Role: "light", Max: 8, Wait: 5})
+		if err != nil || len(pullA.Queries) != 1 {
+			t.Fatalf("lease pull = %+v, %v", pullA, err)
+		}
+		clock.SleepTraceCtx(ctx, 3)
+		err = PullIntoConn(ctx, conn, PullRequest{WorkerID: 2, Role: "light", Max: 8, Wait: 5}, &pulled)
+		if err != nil || len(pulled.Queries) != 1 {
+			t.Fatalf("reclaim pull = %+v, %v", pulled, err)
+		}
+		complete := func(workerID int, lease float64) error {
+			return conn.Complete(ctx, CompleteRequest{
+				WorkerID: workerID, Role: "light", LeaseDeadline: lease,
+				Items: []CompleteItem{{
+					ID: 6, Arrival: 0.25, Variant: "sdturbo", Features: churnFeats, Confidence: 0.9,
+				}},
+			})
+		}
+		if err := complete(1, pullA.LeaseDeadline); err != nil {
+			t.Fatal(err)
+		}
+		if err := complete(2, pulled.LeaseDeadline); err != nil {
+			t.Fatal(err)
+		}
+		for got = 0; got < 1; {
+			if err := PollResultsIntoConn(ctx, conn, ResultsRequest{Max: 8, Wait: 5}, &churn); err != nil || len(churn.Results) == 0 {
+				t.Fatalf("reclaim result missing: %v", err)
+			}
+			got += len(churn.Results)
+		}
+
+		// The result delivered before all that churn is untouched.
+		checkDelivered(delivered.Results[0])
+	})
+
 	t.Run("retry-after-sever", func(t *testing.T) {
 		// A retrying conn over a FaultTransport-severed wire heals on
 		// every transport: calls during the sever window fail with a

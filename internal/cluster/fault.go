@@ -291,6 +291,18 @@ func (c *faultLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, 
 	return out, nil
 }
 
+func (c *faultLBConn) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
+	return c.run(ctx, "poll-results", func() error {
+		return PollResultsIntoConn(ctx, c.inner, req, resp)
+	})
+}
+
+func (c *faultLBConn) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
+	return c.run(ctx, "pull", func() error {
+		return PullIntoConn(ctx, c.inner, req, resp)
+	})
+}
+
 func (c *faultLBConn) Complete(ctx context.Context, req CompleteRequest) error {
 	return c.run(ctx, "complete", func() error { return c.inner.Complete(ctx, req) })
 }

@@ -27,6 +27,35 @@ func fuzzTargets() []func() interface{} {
 	}
 }
 
+// dirtyTargets mirrors fuzzTargets with targets that already hold
+// data — the pooled-struct case. Decoding into one must produce the
+// same message as decoding into a fresh struct: stale lengths, stale
+// values, and stale nil-ness may not leak through capacity reuse.
+func dirtyTargets() []func() interface{} {
+	stale := func() []float64 { return []float64{99, 98, 97, 96, 95, 94, 93} }
+	return []func() interface{}{
+		func() interface{} { return &QueryMsg{ID: -1, Arrival: 99} },
+		func() interface{} { return &QueryResponse{ID: -1, Variant: "stale", Features: stale(), Deferred: true} },
+		func() interface{} { return &PullRequest{WorkerID: -1, Role: "stale", Max: 99, Drain: true} },
+		func() interface{} {
+			return &PullResponse{Queries: []QueryMsg{{ID: -1}, {ID: -2}, {ID: -3}}, RingEpoch: 99, LeaseDeadline: 99}
+		},
+		func() interface{} {
+			return &CompleteRequest{WorkerID: -1, Role: "stale", LeaseDeadline: 99,
+				Items: []CompleteItem{{ID: -1, Features: stale()}, {ID: -2, Features: stale()}}}
+		},
+		func() interface{} { return &ConfigureWorkerRequest{Role: "stale", Batch: 99} },
+		func() interface{} { return &ConfigureLBRequest{Threshold: 99, SplitProb: 99, RingEpoch: 99} },
+		func() interface{} { return &WorkerStats{ID: -1, Role: "stale", Busy: true, Batches: 99} },
+		func() interface{} { return &LBStats{Now: 99, Completed: 99, Reclaims: 99} },
+		func() interface{} { return &SubmitRequest{Queries: []QueryMsg{{ID: -1}, {ID: -2}}, Pool: "stale"} },
+		func() interface{} { return &ResultsRequest{Max: 99, Wait: 99} },
+		func() interface{} {
+			return &ResultsResponse{Results: []QueryResponse{{ID: -1, Variant: "stale", Features: stale()}}}
+		},
+	}
+}
+
 // FuzzCodecRoundTrip feeds arbitrary bytes to the binary codec's
 // decoder for every message type. Raw network bytes reach this
 // decoder on the TCP transport, so arbitrary input must produce a
@@ -65,7 +94,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		for _, mk := range fuzzTargets() {
+		dirty := dirtyTargets()
+		for i, mk := range fuzzTargets() {
 			v := mk()
 			if err := CodecBinary.Unmarshal(data, v); err != nil {
 				continue // rejected cleanly
@@ -86,6 +116,19 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if !bytes.Equal(out, out2) {
 				t.Fatalf("round trip diverged for %T:\n  first:  %x (%+v)\n  second: %x (%+v)", v, out, v, out2, v2)
+			}
+			// Decode the canonical bytes into a dirty, pooled-style
+			// target: it must re-encode identically to the fresh decode.
+			dv := dirty[i]()
+			if err := CodecBinary.Unmarshal(out, dv); err != nil {
+				t.Fatalf("%T does not decode into a dirty target: %v", v, err)
+			}
+			out3, err := CodecBinary.Marshal(dv)
+			if err != nil {
+				t.Fatalf("dirty-target %T does not re-encode: %v", v, err)
+			}
+			if !bytes.Equal(out, out3) {
+				t.Fatalf("dirty-target decode diverged for %T:\n  fresh: %x (%+v)\n  dirty: %x (%+v)", v, out, v2, out3, dv)
 			}
 		}
 	})

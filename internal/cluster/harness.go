@@ -364,8 +364,9 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	go func() { // collector
 		defer collected.Done()
 		got := 0
+		var resp ResultsResponse // reused across polls
 		for got < len(arrivals) && ctx.Err() == nil {
-			resp, err := lbConn.PollResults(ctx, ResultsRequest{Max: 1024, Wait: 1})
+			err := PollResultsIntoConn(ctx, lbConn, ResultsRequest{Max: 1024, Wait: 1}, &resp)
 			if err != nil {
 				// Transient transport failure: back off briefly.
 				clock.SleepTraceCtx(ctx, 0.05)

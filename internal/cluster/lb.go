@@ -407,38 +407,51 @@ func (s *LBServer) submitBatch(qs []QueryMsg, pool string) {
 // explicit non-blocking poll: one buffer check, never a sleep —
 // identical across every transport (the conformance suite pins it).
 func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsResponse {
+	var resp ResultsResponse
+	s.PollResultsInto(ctx, req, &resp)
+	return resp
+}
+
+// PollResultsInto is the buffer-reusing form of PollResults: results
+// are copied into resp.Results' existing capacity instead of a fresh
+// slice per poll, so a caller that polls in a loop with one persistent
+// response struct allocates nothing in steady state. resp is
+// overwritten entirely; the caller owns it and everything it
+// references (result Features alias the collector's immutable arena
+// and must not be mutated).
+func (s *LBServer) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) {
 	max := req.Max
 	if max <= 0 {
 		max = 256
 	}
 	if req.Wait <= 0 {
 		s.resMu.Lock()
-		out := s.takeResultsLocked(max)
+		s.takeResultsInto(max, resp)
 		s.resMu.Unlock()
-		return ResultsResponse{Results: out}
+		return
 	}
 	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	for {
 		s.resMu.Lock()
-		out := s.takeResultsLocked(max)
+		s.takeResultsInto(max, resp)
 		var wake <-chan struct{}
-		if out == nil {
+		if len(resp.Results) == 0 {
 			wake = s.wakeResults.wait()
 		}
 		s.resMu.Unlock()
-		if out != nil {
-			return ResultsResponse{Results: out}
+		if len(resp.Results) > 0 {
+			return
 		}
 
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return ResultsResponse{}
+			return
 		}
 		t := time.NewTimer(remain)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return ResultsResponse{}
+			return
 		case <-wake:
 			t.Stop()
 		case <-t.C:
@@ -446,20 +459,21 @@ func (s *LBServer) PollResults(ctx context.Context, req ResultsRequest) ResultsR
 	}
 }
 
-// takeResultsLocked pops up to max buffered async results, returning
-// nil when none are buffered. Callers must hold resMu.
-func (s *LBServer) takeResultsLocked(max int) []QueryResponse {
+// takeResultsInto pops up to max buffered async results into
+// resp.Results, reusing its capacity. An empty take keeps the
+// caller's buffer (length zero) so the next non-empty poll is still
+// allocation-free. Callers must hold resMu.
+func (s *LBServer) takeResultsInto(max int, resp *ResultsResponse) {
 	n := len(s.results)
 	if n == 0 {
-		return nil
+		resp.Results = resp.Results[:0]
+		return
 	}
 	if n > max {
 		n = max
 	}
-	out := make([]QueryResponse, n)
-	copy(out, s.results)
+	resp.Results = append(resp.Results[:0], s.results[:n]...)
 	s.results = append(s.results[:0], s.results[n:]...)
-	return out
 }
 
 // handleQuery admits a query and blocks until it completes or drops.
@@ -509,22 +523,43 @@ func (s *LBServer) handleResults(w http.ResponseWriter, r *http.Request) {
 // Pulls only touch their own pool's lock, so light and heavy dispatch
 // proceed concurrently.
 func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
+	var resp PullResponse
+	s.PullInto(ctx, req, &resp)
+	return resp
+}
+
+// PullInto is the buffer-reusing form of Pull: the pulled batch is
+// written into resp.Queries' existing capacity, so a worker that
+// pulls in a loop with one persistent response struct allocates
+// nothing in steady state. resp is overwritten entirely (an empty
+// pull leaves Queries nil, matching the by-value API and the wire
+// codecs' nil-vs-empty normalization).
+func (s *LBServer) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) {
 	if req.Drain {
-		return s.drainPull(req)
+		*resp = s.drainPull(req)
+		return
 	}
 	epoch := int(s.ringEpoch.Load())
+	resp.RingEpoch = epoch
+	resp.LeaseDeadline = 0
+	// Keep the caller's query buffer for reuse; empty returns hand back
+	// nil (wire parity) without dropping the capacity they carried in.
+	qbuf := resp.Queries[:0]
+	resp.Queries = nil
 	p := s.pool(req.Role)
 	var deadline time.Time
 	if req.Wait > 0 {
 		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	}
+	scratch := getItemScratch()
+	defer putItemScratch(scratch)
 	for {
 		now := s.cfg.Clock.Now()
 		// Heartbeat first, sweep if due: a reclaimed query re-queued by
 		// the sweep is pullable by this very call.
 		s.leaseTouch(req.WorkerID, now)
 		p.mu.Lock()
-		shed, items, retry := s.dequeuePool(p, req.Max, now)
+		shed, items, retry := s.dequeuePool(p, req.Max, now, (*scratch)[:0])
 		var wake <-chan struct{}
 		if len(items) == 0 && req.Wait > 0 {
 			// Arm the wakeup inside the same critical section as the
@@ -532,6 +567,9 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 			wake = p.wake.wait()
 		}
 		p.mu.Unlock()
+		if items != nil {
+			*scratch = items[:0]
+		}
 
 		if len(shed) > 0 {
 			s.resMu.Lock()
@@ -542,19 +580,21 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 			s.resMu.Unlock()
 		}
 		if len(items) > 0 {
-			resp := PullResponse{Queries: make([]QueryMsg, len(items)), RingEpoch: epoch}
-			for i, it := range items {
-				resp.Queries[i] = QueryMsg{ID: it.ID, Arrival: it.Arrival}
+			for _, it := range items {
+				qbuf = append(qbuf, QueryMsg{ID: it.ID, Arrival: it.Arrival})
 			}
+			resp.Queries = qbuf
 			resp.LeaseDeadline = s.leaseBatch(req.WorkerID, req.Role, items, now)
-			return resp
+			return
 		}
 		if req.Wait <= 0 {
-			return PullResponse{RingEpoch: epoch}
+			resp.Queries = nil
+			return
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return PullResponse{RingEpoch: epoch}
+			resp.Queries = nil
+			return
 		}
 		// Sleep until new work arrives, the head's coalesce window
 		// expires, or the long-poll deadline — whichever is first.
@@ -571,7 +611,7 @@ func (s *LBServer) Pull(ctx context.Context, req PullRequest) PullResponse {
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return PullResponse{RingEpoch: epoch}
+			return
 		case <-wake:
 			t.Stop()
 		case <-t.C:
@@ -633,11 +673,13 @@ func (s *LBServer) drainPull(req PullRequest) PullResponse {
 
 // dequeuePool sheds expired queries, then dequeues a batch if one is
 // dispatchable under the coalescing policy. Shed items are returned to
-// the caller for drop accounting outside the pool lock. When the
-// queue holds a not-yet-dispatchable partial batch it returns the
-// trace-seconds until the head's coalesce window expires, so long
-// polls can wake exactly then. Callers must hold p.mu.
-func (s *LBServer) dequeuePool(p *lbPool, max int, now float64) (shed, items []queueing.Item, retry float64) {
+// the caller for drop accounting outside the pool lock; dequeued items
+// are appended to dst (a pooled scratch slice on the hot path, so the
+// dequeue itself is allocation-free). When the queue holds a
+// not-yet-dispatchable partial batch it returns the trace-seconds
+// until the head's coalesce window expires, so long polls can wake
+// exactly then. Callers must hold p.mu.
+func (s *LBServer) dequeuePool(p *lbPool, max int, now float64, dst []queueing.Item) (shed, items []queueing.Item, retry float64) {
 	shed = p.q.DropWhere(func(it queueing.Item) bool {
 		return now+p.minExec > it.Arrival+s.cfg.SLO
 	})
@@ -650,16 +692,16 @@ func (s *LBServer) dequeuePool(p *lbPool, max int, now float64) (shed, items []q
 		wait = p.minExec
 	}
 	if p.q.Len() >= max {
-		return shed, p.q.Pop(now, max), 0
+		return shed, p.q.PopAppend(now, max, dst), 0
 	}
 	if oldest, ok := p.q.PeekEnqueue(); ok {
 		if waited := now - oldest; waited >= wait {
-			return shed, p.q.Pop(now, max), 0
+			return shed, p.q.PopAppend(now, max, dst), 0
 		} else {
-			return shed, nil, wait - waited
+			return shed, dst, wait - waited
 		}
 	}
-	return shed, nil, 0
+	return shed, dst, 0
 }
 
 // handlePull serves worker pulls.
@@ -925,6 +967,11 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 	if !s.liveLocked(item.ID) {
 		return
 	}
+	// Intern the features once into the collector's immutable arena:
+	// the stored record and the delivered result share that copy, so
+	// neither retains the caller's slice — a pooled decode buffer can
+	// be recycled the moment Complete returns.
+	feats := s.col.InternFeatures(item.Features)
 	rec := metrics.QueryRecord{
 		ID:         item.ID,
 		Arrival:    item.Arrival,
@@ -933,7 +980,7 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 		Deferred:   deferred,
 		ServedBy:   item.Variant,
 		Confidence: item.Confidence,
-		Features:   item.Features,
+		Features:   feats,
 		Artifact:   item.Artifact,
 	}
 	if rec.Violated() {
@@ -942,7 +989,7 @@ func (s *LBServer) completeLocked(item CompleteItem, now float64, deferred bool)
 	s.col.Record(rec)
 	s.completed++
 	resp := QueryResponse{
-		ID: item.ID, Variant: item.Variant, Features: item.Features,
+		ID: item.ID, Variant: item.Variant, Features: feats,
 		Artifact: item.Artifact, Confidence: item.Confidence,
 		Deferred: deferred, Arrival: item.Arrival, Completion: now,
 	}

@@ -178,6 +178,18 @@ func (c *retryLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, 
 	return out, err
 }
 
+func (c *retryLBConn) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
+	return c.do(ctx, func(ctx context.Context) error {
+		return PollResultsIntoConn(ctx, c.inner, req, resp)
+	})
+}
+
+func (c *retryLBConn) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
+	return c.do(ctx, func(ctx context.Context) error {
+		return PullIntoConn(ctx, c.inner, req, resp)
+	})
+}
+
 func (c *retryLBConn) Complete(ctx context.Context, req CompleteRequest) error {
 	return c.do(ctx, func(ctx context.Context) error { return c.inner.Complete(ctx, req) })
 }

@@ -491,12 +491,16 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 		s.recordDispatch(cur.members[0], err)
 		return err
 	}
-	groups := make([][]QueryMsg, n)
+	// The fan-out scratch (per-shard groups and error slots) is pooled:
+	// the goroutines all join before return, and errors.Join copies the
+	// non-nil errors, so nothing references the scratch afterwards.
+	sc := getSubmitScratch(n)
+	defer putSubmitScratch(sc)
+	groups, errs := sc.groups, sc.errs
 	for _, q := range req.Queries {
 		sh := s.shardFor(cur, q.ID)
 		groups[sh] = append(groups[sh], q)
 	}
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i, g := range groups {
 		if len(g) == 0 {
@@ -512,6 +516,40 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 	wg.Wait()
 	return errors.Join(errs...)
 }
+
+// submitScratch recycles SubmitBatch's fan-out state — the per-shard
+// query groups (inner slice capacity included) and the error slots —
+// so a steady stream of batches does not allocate per call. The
+// grouped queries are value copies of the caller's, and every shard
+// dispatch joins before the scratch is returned, so recycling cannot
+// alias a batch still in flight.
+type submitScratch struct {
+	groups [][]QueryMsg
+	errs   []error
+}
+
+var submitScratchPool = sync.Pool{New: func() interface{} { return new(submitScratch) }}
+
+// getSubmitScratch returns a scratch sized for n shards with empty
+// groups and nil error slots.
+func getSubmitScratch(n int) *submitScratch {
+	sc := submitScratchPool.Get().(*submitScratch)
+	if cap(sc.groups) < n {
+		old := sc.groups[:cap(sc.groups)]
+		sc.groups = make([][]QueryMsg, n)
+		copy(sc.groups, old) // keep the inner capacity already grown
+		sc.errs = make([]error, n)
+	}
+	sc.groups = sc.groups[:n]
+	sc.errs = sc.errs[:n]
+	for i := range sc.groups {
+		sc.groups[i] = sc.groups[i][:0]
+		sc.errs[i] = nil
+	}
+	return sc
+}
+
+func putSubmitScratch(sc *submitScratch) { submitScratchPool.Put(sc) }
 
 // startPumps launches the result pumps lazily on first use, and marks
 // the frontend as pumping so later reshards start pumps for the
@@ -555,13 +593,22 @@ func (s *ShardedLB) startPumps() {
 // that came back without any new submits being risked on it first.
 func (s *ShardedLB) pump(member int, conn LBConn) {
 	defer s.pumps.Done()
+	// The poll response is reused across iterations; the merged buffer
+	// takes value copies of the results, so each element's Features
+	// pointer is handed off by zeroing the element before the next poll
+	// decodes into the struct — reusing that capacity would scribble on
+	// results already landed in the stream.
+	var resp ResultsResponse
 	for s.ctx.Err() == nil {
-		resp, err := conn.PollResults(s.ctx, ResultsRequest{Max: 1024, Wait: s.cfg.PumpWait})
+		err := PollResultsIntoConn(s.ctx, conn, ResultsRequest{Max: 1024, Wait: s.cfg.PumpWait}, &resp)
 		if len(resp.Results) > 0 {
 			s.resMu.Lock()
 			s.results = append(s.results, resp.Results...)
 			s.wake.wake()
 			s.resMu.Unlock()
+			for i := range resp.Results {
+				resp.Results[i] = QueryResponse{}
+			}
 		}
 		if err != nil {
 			// Transient transport failure (or shutdown): back off so a
@@ -581,6 +628,15 @@ func (s *ShardedLB) pump(member int, conn LBConn) {
 // non-blocking poll; otherwise the call blocks until at least one
 // result arrives from any shard or the wait expires.
 func (s *ShardedLB) PollResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := s.PollResultsInto(ctx, req, &resp)
+	return resp, err
+}
+
+// PollResultsInto is PollResults decoding into the caller's response,
+// reusing resp.Results' capacity. The caller owns the results until
+// its next call with the same struct.
+func (s *ShardedLB) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
 	s.startPumps()
 	max := req.Max
 	if max <= 0 {
@@ -588,34 +644,34 @@ func (s *ShardedLB) PollResults(ctx context.Context, req ResultsRequest) (Result
 	}
 	if req.Wait <= 0 {
 		s.resMu.Lock()
-		out := s.takeLocked(max)
+		s.takeInto(max, resp)
 		s.resMu.Unlock()
-		return ResultsResponse{Results: out}, nil
+		return nil
 	}
 	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
 	for {
 		s.resMu.Lock()
-		out := s.takeLocked(max)
+		s.takeInto(max, resp)
 		var wake <-chan struct{}
-		if out == nil {
+		if len(resp.Results) == 0 {
 			wake = s.wake.wait()
 		}
 		s.resMu.Unlock()
-		if out != nil {
-			return ResultsResponse{Results: out}, nil
+		if len(resp.Results) > 0 {
+			return nil
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return ResultsResponse{}, nil
+			return nil
 		}
 		t := time.NewTimer(remain)
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return ResultsResponse{}, ctx.Err()
+			return ctx.Err()
 		case <-s.ctx.Done():
 			t.Stop()
-			return ResultsResponse{}, ErrTransportClosed
+			return ErrTransportClosed
 		case <-wake:
 			t.Stop()
 		case <-t.C:
@@ -623,20 +679,16 @@ func (s *ShardedLB) PollResults(ctx context.Context, req ResultsRequest) (Result
 	}
 }
 
-// takeLocked pops up to max merged results; nil when none. Callers
-// must hold resMu.
-func (s *ShardedLB) takeLocked(max int) []QueryResponse {
+// takeInto pops up to max merged results into resp.Results, reusing
+// its capacity; an empty take leaves resp.Results at length zero (the
+// buffer is kept). Callers must hold resMu.
+func (s *ShardedLB) takeInto(max int, resp *ResultsResponse) {
 	n := len(s.results)
-	if n == 0 {
-		return nil
-	}
 	if n > max {
 		n = max
 	}
-	out := make([]QueryResponse, n)
-	copy(out, s.results)
+	resp.Results = append(resp.Results[:0], s.results[:n]...)
 	s.results = append(s.results[:0], s.results[n:]...)
-	return out
 }
 
 // sweepConns snapshots the connections Pull sweeps: current members
@@ -675,12 +727,21 @@ func (s *ShardedLB) rebuildSweepLocked() {
 // stay pinned to one shard (the multi-host layout) dial their shard
 // directly instead of pulling through the frontend.
 func (s *ShardedLB) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
+	var resp PullResponse
+	err := s.PullInto(ctx, req, &resp)
+	return resp, err
+}
+
+// PullInto is Pull decoding into the caller's response, reusing
+// resp.Queries' capacity across the sweep and across calls. The
+// frontend's ring epoch overwrites whatever epoch the shard reported.
+func (s *ShardedLB) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
 	conns, epoch := s.sweepConns()
 	n := len(conns)
 	if n == 1 {
-		resp, err := conns[0].Pull(ctx, req)
+		err := PullIntoConn(ctx, conns[0], req, resp)
 		resp.RingEpoch = epoch
-		return resp, err
+		return err
 	}
 	var deadline float64
 	if req.Wait > 0 {
@@ -691,29 +752,27 @@ func (s *ShardedLB) Pull(ctx context.Context, req PullRequest) (PullResponse, er
 		sweep := req
 		sweep.Wait = 0
 		for i := 0; i < n; i++ {
-			resp, err := conns[(start+i)%n].Pull(ctx, sweep)
-			if err != nil {
+			err := PullIntoConn(ctx, conns[(start+i)%n], sweep, resp)
+			if err != nil || len(resp.Queries) > 0 {
 				resp.RingEpoch = epoch
-				return resp, err
-			}
-			if len(resp.Queries) > 0 {
-				resp.RingEpoch = epoch
-				return resp, nil
+				return err
 			}
 		}
 		if req.Wait <= 0 {
-			return PullResponse{RingEpoch: epoch}, nil
+			resp.RingEpoch = epoch
+			return nil
 		}
 		remain := deadline - s.cfg.Clock.Now()
 		if remain <= 0 {
-			return PullResponse{RingEpoch: epoch}, nil
+			resp.RingEpoch = epoch
+			return nil
 		}
 		park := req
 		park.Wait = min(remain, shardPullSlice)
-		resp, err := conns[start].Pull(ctx, park)
+		err := PullIntoConn(ctx, conns[start], park, resp)
 		if err != nil || len(resp.Queries) > 0 {
 			resp.RingEpoch = epoch
-			return resp, err
+			return err
 		}
 	}
 }

@@ -102,8 +102,20 @@ type marshalAppender interface {
 	MarshalAppend(b []byte, v interface{}) ([]byte, error)
 }
 
-// framePool recycles frame buffers across reads and writes.
+// framePool recycles frame buffers across reads and writes. All
+// returns go through putFrame, which poisons the buffer first under
+// the poolpoison build tag — anything still aliasing a recycled frame
+// (a decoded message that kept a payload reference, a response read
+// after its call finished) turns to garbage in tests instead of
+// silently decoding stale bytes.
 var framePool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 4096); return &b }}
+
+func getFrame() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrame(bp *[]byte) {
+	poisonFrame(*bp)
+	framePool.Put(bp)
+}
 
 // frame is a decoded frame header plus its payload (aliasing the read
 // buffer).
@@ -195,16 +207,30 @@ func appendFrame(b []byte, kind, method, cID byte, id uint64, codec Codec, msg i
 
 // --- server ---
 
-// tcpService is the server side of the protocol: newRequest allocates
+// tcpService is the server side of the protocol: newRequest returns
 // the message a method decodes into (nil for methods with no request
 // payload, ok=false for methods the service does not serve), and
 // serve runs the fully decoded request. Splitting decode from serve
 // lets the dispatcher recycle the frame buffer before serve blocks —
 // long polls hold requests open for seconds and must not pin pooled
 // buffers.
+//
+// newRequest hands out pooled structs; the dispatcher owns them and
+// returns both request and response to the pools via ReleaseMessage
+// once the response frame is written. Handlers therefore must not
+// retain anything a request references past serve's return (strings
+// are immutable and exempt; the LB interns feature slices into the
+// collector arena).
+//
+// blocking marks the methods that can park for a long-poll wait; only
+// those get their own dispatch goroutine. Quick methods (submit,
+// complete, configure, stats) serve inline on the read loop, saving
+// the spawn and letting consecutive responses share one coalesced
+// flush.
 type tcpService interface {
 	newRequest(method byte) (msg interface{}, ok bool)
 	serve(ctx context.Context, method byte, req interface{}) (interface{}, error)
+	blocking(method byte) bool
 }
 
 // TCPServer serves a component's API over the framed TCP protocol.
@@ -240,21 +266,27 @@ type lbService struct{ s *LBServer }
 func (lbService) newRequest(method byte) (interface{}, bool) {
 	switch method {
 	case methodQuery:
-		return new(QueryMsg), true
+		return getQueryMsg(), true
 	case methodSubmit:
-		return new(SubmitRequest), true
+		return getSubmitRequest(), true
 	case methodResults:
-		return new(ResultsRequest), true
+		return getResultsRequest(), true
 	case methodPull:
-		return new(PullRequest), true
+		return getPullRequest(), true
 	case methodComplete:
-		return new(CompleteRequest), true
+		return getCompleteRequest(), true
 	case methodConfigureLB:
-		return new(ConfigureLBRequest), true
+		return getConfigureLBRequest(), true
 	case methodLBStats:
 		return nil, true
 	}
 	return nil, false
+}
+
+func (lbService) blocking(method byte) bool {
+	// Submit long-polls for its query's resolution; results and pull
+	// park on their wait windows. Everything else returns promptly.
+	return method == methodQuery || method == methodResults || method == methodPull
 }
 
 func (l lbService) serve(ctx context.Context, method byte, req interface{}) (interface{}, error) {
@@ -269,11 +301,13 @@ func (l lbService) serve(ctx context.Context, method byte, req interface{}) (int
 		l.s.SubmitBatchReq(*req.(*SubmitRequest))
 		return nil, nil
 	case methodResults:
-		resp := l.s.PollResults(ctx, *req.(*ResultsRequest))
-		return &resp, nil
+		resp := getResultsResponse()
+		l.s.PollResultsInto(ctx, *req.(*ResultsRequest), resp)
+		return resp, nil
 	case methodPull:
-		resp := l.s.Pull(ctx, *req.(*PullRequest))
-		return &resp, nil
+		resp := getPullResponse()
+		l.s.PullInto(ctx, *req.(*PullRequest), resp)
+		return resp, nil
 	case methodComplete:
 		l.s.Complete(*req.(*CompleteRequest))
 		return nil, nil
@@ -294,12 +328,14 @@ type workerService struct{ s *WorkerServer }
 func (workerService) newRequest(method byte) (interface{}, bool) {
 	switch method {
 	case methodConfigureWorker:
-		return new(ConfigureWorkerRequest), true
+		return getConfigureWorkerRequest(), true
 	case methodWorkerStats:
 		return nil, true
 	}
 	return nil, false
 }
+
+func (workerService) blocking(byte) bool { return false }
 
 func (w workerService) serve(ctx context.Context, method byte, req interface{}) (interface{}, error) {
 	switch method {
@@ -388,50 +424,73 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32<<10)
 	w := &frameWriter{conn: conn, bw: bufio.NewWriterSize(conn, 32<<10)}
 	for {
-		bp := framePool.Get().(*[]byte)
+		bp := getFrame()
 		f, buf, err := readFrame(br, (*bp)[:0])
 		*bp = buf
 		if err != nil {
-			framePool.Put(bp)
+			putFrame(bp)
 			return // closed, EOF, or protocol violation: drop the conn
 		}
 		if f.kind != frameRequest {
-			framePool.Put(bp)
+			putFrame(bp)
 			return
 		}
 		s.wg.Add(1)
-		go s.dispatch(ctx, w, f, bp)
+		if s.svc.blocking(f.method) {
+			// Long polls get their own goroutine so they never block the
+			// connection's other in-flight requests.
+			go s.dispatch(ctx, w, f, bp)
+		} else {
+			// Quick methods serve inline: no spawn, and consecutive
+			// responses on a busy connection share one coalesced flush.
+			s.dispatch(ctx, w, f, bp)
+		}
 	}
 }
 
 // dispatch runs one request to completion and writes its response.
-// Each request gets its own goroutine so long polls do not block the
-// connection's other in-flight requests. The frame buffer is
-// recycled as soon as the request is decoded — before serve blocks.
+// The frame buffer is recycled as soon as the request is decoded —
+// before serve blocks — and the pooled request/response messages go
+// back to their pools once the response frame is written (handlers
+// must not retain them; see tcpService).
 func (s *TCPServer) dispatch(ctx context.Context, w *frameWriter, f frame, bp *[]byte) {
 	defer s.wg.Done()
 	codec := codecByID(f.codec)
 	req, known := s.svc.newRequest(f.method)
 	if !known {
-		framePool.Put(bp)
+		putFrame(bp)
 		w.write(frameError, f.method, f.codec, f.id, codec, nil,
 			fmt.Sprintf("method %d not supported", f.method))
 		return
 	}
 	if req != nil {
+		if f.codec != codecIDBinary {
+			// JSON merges into dirty targets (absent fields keep their
+			// stale values), so pooled requests must be zeroed for it.
+			// The binary decoder overwrites every field and may reuse
+			// the dirty capacity directly.
+			zeroWireMessage(req)
+		}
 		if err := codec.Unmarshal(f.payload, req); err != nil {
-			framePool.Put(bp)
+			putFrame(bp)
+			ReleaseMessage(req)
 			w.write(frameError, f.method, f.codec, f.id, codec, nil, err.Error())
 			return
 		}
 	}
-	framePool.Put(bp)
+	putFrame(bp)
 	resp, err := s.svc.serve(ctx, f.method, req)
+	if req != nil {
+		ReleaseMessage(req)
+	}
 	if err != nil {
 		w.write(frameError, f.method, f.codec, f.id, codec, nil, err.Error())
 		return
 	}
 	w.write(frameResponse, f.method, f.codec, f.id, codec, resp, "")
+	if resp != nil {
+		ReleaseMessage(resp)
+	}
 }
 
 // frameWriter serializes response frames onto one connection. The
@@ -440,36 +499,51 @@ func (s *TCPServer) dispatch(ctx context.Context, w *frameWriter, f frame, bp *[
 // requests would apply side effects the peer never hears about.
 // Closing unblocks the connection's read loop, which tears the
 // serving state down and cancels in-flight handlers.
+//
+// Flushes are coalesced: writers announce themselves on the atomic
+// counter before taking the lock, and only the writer that brings the
+// counter back to zero flushes. Under a burst of concurrent responses
+// (the sharded frontend resolving a fan-out, a worker group's pulls
+// firing together) the buffered frames go out in one syscall instead
+// of one per response; a lone writer still flushes immediately, so
+// latency is unchanged when idle.
 type frameWriter struct {
-	conn net.Conn
-	mu   sync.Mutex
-	bw   *bufio.Writer
-	err  error
+	conn    net.Conn
+	writers atomic.Int32 // announced-but-not-yet-written frames
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
 }
 
 func (w *frameWriter) write(kind, method, cID byte, id uint64, codec Codec, msg interface{}, errText string) {
-	bp := framePool.Get().(*[]byte)
+	bp := getFrame()
 	b, err := appendFrame((*bp)[:0], kind, method, cID, id, codec, msg, errText)
 	if err != nil {
 		// Encoding failed: report the failure instead of the payload.
 		b, err = appendFrame(b[:0], frameError, method, cID, id, codec, nil, err.Error())
 	}
 	if err == nil {
+		w.writers.Add(1)
 		w.mu.Lock()
+		wasDead := w.err != nil
 		if w.err == nil {
 			if _, werr := w.bw.Write(b); werr != nil {
 				w.err = werr
-			} else {
-				w.err = w.bw.Flush()
 			}
-			if w.err != nil {
-				w.conn.Close()
-			}
+		}
+		// Last announced writer flushes for everyone; any writer that
+		// announced after our Add(1) is guaranteed to reach its own
+		// flush check, so buffered frames never strand.
+		if w.writers.Add(-1) == 0 && w.err == nil {
+			w.err = w.bw.Flush()
+		}
+		if w.err != nil && !wasDead {
+			w.conn.Close()
 		}
 		w.mu.Unlock()
 	}
 	*bp = b
-	framePool.Put(bp)
+	putFrame(bp)
 }
 
 // --- client ---
@@ -493,20 +567,77 @@ type tcpClient struct {
 	mu      sync.Mutex
 	cs      *tcpConnState // nil when disconnected
 	dialing chan struct{} // non-nil while one caller redials
-	nextID  uint64
 }
 
-// tcpConnState is the per-connection half of the client: the pending
-// call map and the writer, both tied to one net.Conn's lifetime.
+// tcpConnState is the per-connection half of the client: the
+// correlation slot table and the writer, both tied to one net.Conn's
+// lifetime.
+//
+// Correlation is by reusable slot, not by per-call channel: a frame
+// id encodes a slot index (low 32 bits) and that slot's generation
+// (high 32 bits). A call acquires a free slot, bumps nothing, and
+// waits on the slot's persistent 1-buffered channel; releasing the
+// slot increments its generation, so a response that arrives after
+// its call was cancelled fails the generation check and is discarded
+// instead of being delivered to the slot's next occupant. The table
+// grows to the connection's high-water concurrency and is then
+// allocation-free.
 type tcpConnState struct {
 	client *tcpClient
 	conn   net.Conn
 	bw     *bufio.Writer
 
-	mu      sync.Mutex
-	pending map[uint64]chan tcpResult
-	dead    bool
-	err     error
+	// writers counts announced-but-not-yet-written request frames for
+	// coalesced flushing (same discipline as frameWriter).
+	writers atomic.Int32
+
+	mu    sync.Mutex
+	slots []*tcpSlot
+	free  []uint32 // free slot indexes, LIFO for cache warmth
+	dead  bool
+	err   error
+}
+
+// tcpSlot is one reusable waiter: the channel survives across calls.
+type tcpSlot struct {
+	ch   chan tcpResult
+	gen  uint32
+	busy bool
+}
+
+// acquireSlotLocked returns a slot and the frame id encoding it.
+// Callers must hold cs.mu.
+func (cs *tcpConnState) acquireSlotLocked() (*tcpSlot, uint64) {
+	var idx uint32
+	if n := len(cs.free); n > 0 {
+		idx = cs.free[n-1]
+		cs.free = cs.free[:n-1]
+	} else {
+		idx = uint32(len(cs.slots))
+		cs.slots = append(cs.slots, &tcpSlot{ch: make(chan tcpResult, 1)})
+	}
+	sl := cs.slots[idx]
+	sl.busy = true
+	return sl, uint64(sl.gen)<<32 | uint64(idx)
+}
+
+// releaseSlotLocked retires a call's slot: the generation bump
+// invalidates any response still in flight, and a result that raced
+// into the buffer is drained so the next occupant starts clean.
+// Callers must hold cs.mu.
+func (cs *tcpConnState) releaseSlotLocked(id uint64) {
+	idx := uint32(id)
+	sl := cs.slots[idx]
+	sl.busy = false
+	sl.gen++
+	select {
+	case res := <-sl.ch:
+		if res.bp != nil {
+			putFrame(res.bp)
+		}
+	default:
+	}
+	cs.free = append(cs.free, idx)
 }
 
 type tcpResult struct {
@@ -549,24 +680,22 @@ func (c *tcpClient) report(err error) {
 	}
 }
 
-// connState returns the live connection state plus a fresh request
-// id, dialing if disconnected. Dialing is single-flight and runs
-// WITHOUT holding c.mu, so concurrent callers wait on a channel and
-// stay interruptible by their own contexts instead of queueing
+// connState returns the live connection state, dialing if
+// disconnected. Dialing is single-flight and runs WITHOUT holding
+// c.mu, so concurrent callers wait on a channel and stay
+// interruptible by their own contexts instead of queueing
 // uninterruptibly on the mutex through a multi-second retry cycle.
-func (c *tcpClient) connState(ctx context.Context) (*tcpConnState, uint64, error) {
+func (c *tcpClient) connState(ctx context.Context) (*tcpConnState, error) {
 	for {
 		c.mu.Lock()
 		if c.closed.Load() {
 			c.mu.Unlock()
-			return nil, 0, ErrTransportClosed
+			return nil, ErrTransportClosed
 		}
 		if c.cs != nil {
 			cs := c.cs
-			id := c.nextID
-			c.nextID++
 			c.mu.Unlock()
-			return cs, id, nil
+			return cs, nil
 		}
 		if c.dialing == nil {
 			// This caller dials; everyone else waits on done.
@@ -589,7 +718,7 @@ func (c *tcpClient) connState(ctx context.Context) (*tcpConnState, uint64, error
 			c.mu.Unlock()
 			close(done)
 			if err != nil {
-				return nil, 0, err
+				return nil, err
 			}
 			continue
 		}
@@ -599,7 +728,7 @@ func (c *tcpClient) connState(ctx context.Context) (*tcpConnState, uint64, error
 		case <-done:
 			// Re-check: the dial succeeded or this caller retries it.
 		case <-ctx.Done():
-			return nil, 0, ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -635,8 +764,7 @@ func (c *tcpClient) dial(ctx context.Context) (*tcpConnState, error) {
 		}
 		return &tcpConnState{
 			client: c, conn: conn,
-			bw:      bufio.NewWriterSize(conn, 32<<10),
-			pending: make(map[uint64]chan tcpResult),
+			bw: bufio.NewWriterSize(conn, 32<<10),
 		}, nil
 	}
 	err = fmt.Errorf("cluster: tcp dial %s: %w (after %d attempts)", c.addr, err, tcpDialAttempts)
@@ -652,55 +780,62 @@ func (c *tcpClient) call(ctx context.Context, method byte, in, out interface{}) 
 	}
 	// Encode the request frame before touching any lock; the request
 	// id is patched in once assigned.
-	bp := framePool.Get().(*[]byte)
+	bp := getFrame()
 	b, err := appendFrame((*bp)[:0], frameRequest, method, c.cID, 0, c.codec, in, "")
 	if err != nil {
 		*bp = b
-		framePool.Put(bp)
+		putFrame(bp)
 		return fmt.Errorf("cluster: tcp marshal method %d: %w", method, err)
 	}
 
-	cs, id, err := c.connState(ctx)
+	cs, err := c.connState(ctx)
 	if err != nil {
 		*bp = b
-		framePool.Put(bp)
+		putFrame(bp)
 		return err
 	}
-	binary.BigEndian.PutUint64(b[7:7+8], id)
 
-	ch := make(chan tcpResult, 1)
+	// Announce the pending write before taking the lock so concurrent
+	// callers' frames share one coalesced flush (see frameWriter).
+	cs.writers.Add(1)
 	cs.mu.Lock()
 	if cs.dead {
+		cs.writers.Add(-1)
+		err := cs.err
 		cs.mu.Unlock()
 		*bp = b
-		framePool.Put(bp)
-		return cs.err
+		putFrame(bp)
+		return err
 	}
-	cs.pending[id] = ch
+	sl, id := cs.acquireSlotLocked()
+	binary.BigEndian.PutUint64(b[7:7+8], id)
 	_, werr := cs.bw.Write(b)
-	if werr == nil {
+	if cs.writers.Add(-1) == 0 && werr == nil {
 		werr = cs.bw.Flush()
 	}
 	cs.mu.Unlock()
 	*bp = b
-	framePool.Put(bp)
+	putFrame(bp)
 
 	if werr != nil {
 		cs.fail(fmt.Errorf("cluster: tcp write %s: %w", c.addr, werr))
-		// fail resolved every pending call, ours included — but a
-		// response that raced in before the failure still counts, so
-		// the result is handled exactly like the normal path.
-		return c.finish(<-ch, out)
+		// fail resolved every busy slot, ours included — but a response
+		// that raced in before the failure still counts, so the result
+		// is handled exactly like the normal path.
 	}
+	var res tcpResult
 	select {
-	case res := <-ch:
-		return c.finish(res, out)
+	case res = <-sl.ch:
 	case <-ctx.Done():
 		cs.mu.Lock()
-		delete(cs.pending, id)
+		cs.releaseSlotLocked(id)
 		cs.mu.Unlock()
 		return ctx.Err()
 	}
+	cs.mu.Lock()
+	cs.releaseSlotLocked(id)
+	cs.mu.Unlock()
+	return c.finish(res, out)
 }
 
 // finish decodes one call's resolved result into out and recycles the
@@ -714,7 +849,7 @@ func (c *tcpClient) finish(res tcpResult, out interface{}) error {
 		err = c.codec.Unmarshal(res.payload, out)
 	}
 	if res.bp != nil {
-		framePool.Put(res.bp)
+		putFrame(res.bp)
 	}
 	return err
 }
@@ -734,16 +869,23 @@ func (c *tcpClient) Close() {
 }
 
 // fail marks the connection dead exactly once, resolving every
-// pending call with err. The next call on the client redials.
+// busy slot with err. The next call on the client redials. Sends are
+// non-blocking: a slot whose real response already raced into its
+// buffer keeps that response.
 func (cs *tcpConnState) fail(err error) {
 	cs.conn.Close()
 	cs.mu.Lock()
 	if !cs.dead {
 		cs.dead = true
 		cs.err = err
-		for id, ch := range cs.pending {
-			delete(cs.pending, id)
-			ch <- tcpResult{err: err}
+		for _, sl := range cs.slots {
+			if !sl.busy {
+				continue
+			}
+			select {
+			case sl.ch <- tcpResult{err: err}:
+			default:
+			}
 		}
 	}
 	cs.mu.Unlock()
@@ -756,37 +898,56 @@ func (cs *tcpConnState) fail(err error) {
 	c.mu.Unlock()
 }
 
-// readLoop receives response frames and resolves pending calls by id.
+// readLoop receives response frames and resolves waiting calls by
+// slot. The generation check and the channel send happen under cs.mu,
+// so a concurrent cancel (which bumps the generation and drains the
+// slot) can never be interleaved with a stale delivery.
 func (cs *tcpConnState) readLoop() {
 	br := bufio.NewReaderSize(cs.conn, 32<<10)
 	for {
-		bp := framePool.Get().(*[]byte)
+		bp := getFrame()
 		f, buf, err := readFrame(br, (*bp)[:0])
 		*bp = buf
 		if err != nil {
-			framePool.Put(bp)
+			putFrame(bp)
 			cs.fail(fmt.Errorf("cluster: tcp read %s: %w", cs.client.addr, err))
 			return
 		}
-		cs.mu.Lock()
-		ch, ok := cs.pending[f.id]
-		delete(cs.pending, f.id)
-		cs.mu.Unlock()
-		if !ok {
-			framePool.Put(bp) // call cancelled while in flight
-			continue
-		}
-		switch f.kind {
-		case frameResponse:
-			ch <- tcpResult{bp: bp, payload: f.payload}
-		case frameError:
-			rerr := errors.New("cluster: tcp remote: " + string(f.payload))
-			framePool.Put(bp)
-			ch <- tcpResult{err: rerr}
-		default: // a request frame from the server: protocol violation
-			framePool.Put(bp)
+		if f.kind != frameResponse && f.kind != frameError {
+			// A request frame from the server: protocol violation.
+			putFrame(bp)
 			cs.fail(fmt.Errorf("cluster: tcp %s sent frame kind %d", cs.client.addr, f.kind))
 			return
+		}
+		idx, gen := uint32(f.id), uint32(f.id>>32)
+		cs.mu.Lock()
+		var sl *tcpSlot
+		if int64(idx) < int64(len(cs.slots)) {
+			if s := cs.slots[idx]; s.busy && s.gen == gen {
+				sl = s
+			}
+		}
+		if sl == nil {
+			cs.mu.Unlock()
+			putFrame(bp) // call cancelled (or never existed): drop it
+			continue
+		}
+		var res tcpResult
+		if f.kind == frameResponse {
+			// The slot's waiter takes ownership of the frame buffer.
+			res = tcpResult{bp: bp, payload: f.payload}
+		} else {
+			res = tcpResult{err: errors.New("cluster: tcp remote: " + string(f.payload))}
+		}
+		delivered := false
+		select {
+		case sl.ch <- res:
+			delivered = true
+		default: // duplicate response for the id: drop it
+		}
+		cs.mu.Unlock()
+		if !delivered || res.bp == nil {
+			putFrame(bp)
 		}
 	}
 }
@@ -823,6 +984,30 @@ func (c tcpLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, err
 	var resp PullResponse
 	err := c.c.call(ctx, methodPull, &req, &resp)
 	return resp, err
+}
+
+// PollResultsInto and PullInto decode straight into the caller's
+// response struct, reusing its slice capacity across calls (the
+// ReusingLBConn capability). Only the binary codec overwrites every
+// field on decode; the JSON codec merges into dirty targets, so it
+// falls back to a fresh decode.
+
+func (c tcpLBConn) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
+	if c.c.cID != codecIDBinary {
+		out, err := c.PollResults(ctx, req)
+		*resp = out
+		return err
+	}
+	return c.c.call(ctx, methodResults, &req, resp)
+}
+
+func (c tcpLBConn) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
+	if c.c.cID != codecIDBinary {
+		out, err := c.Pull(ctx, req)
+		*resp = out
+		return err
+	}
+	return c.c.call(ctx, methodPull, &req, resp)
 }
 
 func (c tcpLBConn) Complete(ctx context.Context, req CompleteRequest) error {

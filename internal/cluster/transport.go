@@ -33,6 +33,47 @@ type LBConn interface {
 	Stats(ctx context.Context) (LBStats, error)
 }
 
+// ReusingLBConn is the optional buffer-reuse capability of an LBConn:
+// the Into variants decode into a caller-owned response struct,
+// reusing its slice capacity across calls instead of allocating fresh
+// response slices per call. Callers on a hot loop keep one persistent
+// response struct and go through PullResultsInto/PollResultsInto (the
+// package-level helpers below fall back to the by-value methods on
+// conns without the capability). The response is overwritten entirely
+// on every call; anything the caller wants to retain across calls
+// must be copied out first.
+type ReusingLBConn interface {
+	LBConn
+	// PullInto is Pull with a caller-owned response buffer.
+	PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error
+	// PollResultsInto is PollResults with a caller-owned response
+	// buffer.
+	PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error
+}
+
+// PullIntoConn pulls via the conn's buffer-reusing fast path when it
+// has one, falling back to the by-value Pull otherwise. resp is
+// overwritten entirely either way.
+func PullIntoConn(ctx context.Context, conn LBConn, req PullRequest, resp *PullResponse) error {
+	if rc, ok := conn.(ReusingLBConn); ok {
+		return rc.PullInto(ctx, req, resp)
+	}
+	out, err := conn.Pull(ctx, req)
+	*resp = out
+	return err
+}
+
+// PollResultsIntoConn polls via the conn's buffer-reusing fast path
+// when it has one, falling back to the by-value PollResults otherwise.
+func PollResultsIntoConn(ctx context.Context, conn LBConn, req ResultsRequest, resp *ResultsResponse) error {
+	if rc, ok := conn.(ReusingLBConn); ok {
+		return rc.PollResultsInto(ctx, req, resp)
+	}
+	out, err := conn.PollResults(ctx, req)
+	*resp = out
+	return err
+}
+
 // WorkerConn is a client connection to one worker's control plane.
 type WorkerConn interface {
 	// Configure reassigns the worker's role and batch size.
@@ -283,6 +324,29 @@ func (c httpLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, er
 	return resp, err
 }
 
+// PullInto and PollResultsInto decode into the caller's struct,
+// reusing slice capacity under the binary codec (which overwrites
+// every field); the JSON codec merges into dirty targets, so it falls
+// back to a fresh decode.
+
+func (c httpLBConn) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
+	if c.codec.Name() != CodecNameBinary {
+		out, err := c.Pull(ctx, req)
+		*resp = out
+		return err
+	}
+	return c.call(ctx, "/pull", &req, resp)
+}
+
+func (c httpLBConn) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
+	if c.codec.Name() != CodecNameBinary {
+		out, err := c.PollResults(ctx, req)
+		*resp = out
+		return err
+	}
+	return c.call(ctx, "/results", &req, resp)
+}
+
 func (c httpLBConn) Complete(ctx context.Context, req CompleteRequest) error {
 	return c.call(ctx, "/complete", &req, nil)
 }
@@ -348,6 +412,16 @@ func (c localLBConn) PollResults(ctx context.Context, req ResultsRequest) (Resul
 
 func (c localLBConn) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
 	return c.s.Pull(ctx, req), ctx.Err()
+}
+
+func (c localLBConn) PullInto(ctx context.Context, req PullRequest, resp *PullResponse) error {
+	c.s.PullInto(ctx, req, resp)
+	return ctx.Err()
+}
+
+func (c localLBConn) PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error {
+	c.s.PollResultsInto(ctx, req, resp)
+	return ctx.Err()
 }
 
 func (c localLBConn) Complete(ctx context.Context, req CompleteRequest) error {

@@ -25,6 +25,32 @@
 // server-side until a batch is dispatchable or a deadline passes,
 // instead of sleep-and-retry).
 //
+// # Buffer ownership
+//
+// The wire path is allocation-free in steady state, which makes slice
+// ownership part of the API contract:
+//
+//   - Requests (SubmitRequest, CompleteRequest): the caller keeps
+//     ownership of every slice it passes in. The server copies (or
+//     interns into the metrics collector's append-only arena) anything
+//     it retains, so callers may reuse or overwrite request buffers the
+//     moment the call returns.
+//   - By-value responses (Pull, PollResults): the returned message and
+//     its slices belong to the caller; nothing else aliases them.
+//   - Reused responses (PullInto, PollResultsInto — see ReusingLBConn):
+//     the response struct's slices are decode targets. The caller owns
+//     their contents only until its next *Into call on the same struct,
+//     which overwrites them in place. Callers that retain results past
+//     that point (or poll into a shared struct from two goroutines)
+//     must copy.
+//   - Pooled decodes (the TCP server's dispatch path): messages
+//     acquired from the package pools are owned by exactly one
+//     goroutine and returned via ReleaseMessage; released storage is
+//     recycled into later decodes, so retaining any slice past release
+//     is a use-after-free. The poolpoison build tag fills released
+//     buffers with NaN sentinels so that class of bug fails loudly
+//     under test.
+//
 // Model execution is simulated by sleeping for the profiled latency
 // (the artifact's --do_simulate mode) scaled by a configurable
 // timescale, so a six-minute trace can replay in seconds while
@@ -57,6 +83,11 @@ type QueryMsg struct {
 }
 
 // QueryResponse is returned to the client when its query completes.
+//
+// Features follows the package's buffer-ownership rules: delivered
+// by value it belongs to the caller; delivered through
+// PollResultsInto it is valid until the next Into call on the same
+// response struct.
 type QueryResponse struct {
 	ID         int       `json:"id"`
 	Dropped    bool      `json:"dropped"`
@@ -95,7 +126,10 @@ type ResultsRequest struct {
 	Wait float64 `json:"wait,omitempty"` // trace seconds
 }
 
-// ResultsResponse carries completed query results.
+// ResultsResponse carries completed query results. Results belongs to
+// the caller when polled by value; polled through PollResultsInto it
+// is a decode target, valid until the next Into call on the same
+// struct.
 type ResultsResponse struct {
 	Results []QueryResponse `json:"results"`
 }
@@ -132,13 +166,20 @@ type PullRequest struct {
 // worker that goes silent past the deadline forfeits the batch — the
 // server's expiry sweep reclaims and re-queues it. Zero means the
 // server is not leasing (leases disabled).
+//
+// Queries belongs to the caller when pulled by value; pulled through
+// PullInto it is a decode target, valid until the next Into call on
+// the same struct.
 type PullResponse struct {
 	Queries       []QueryMsg `json:"queries"`
 	RingEpoch     int        `json:"ring_epoch,omitempty"`
 	LeaseDeadline float64    `json:"lease_deadline,omitempty"`
 }
 
-// CompleteItem is one finished generation.
+// CompleteItem is one finished generation. The caller keeps ownership
+// of Features: the server interns what it retains, so the slice may
+// alias long-lived worker storage (the imagespace cache) and be reused
+// as soon as Complete returns.
 type CompleteItem struct {
 	ID         int       `json:"id"`
 	Arrival    float64   `json:"arrival"`

@@ -92,6 +92,11 @@ func BenchmarkWirePath(b *testing.B) {
 			proto := benchCompleteRequest()
 			queries := make([]QueryMsg, len(proto.Items))
 			items := make([]CompleteItem, len(proto.Items))
+			// Persistent response structs: the Into calls decode into
+			// their existing capacity, so a steady-state client
+			// allocates nothing per cycle.
+			var pulled PullResponse
+			var results ResultsResponse
 
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -109,8 +114,7 @@ func BenchmarkWirePath(b *testing.B) {
 				if err := conn.SubmitBatch(ctx, SubmitRequest{Queries: queries}); err != nil {
 					b.Fatal(err)
 				}
-				pulled, err := conn.Pull(ctx, PullRequest{Role: "light", Max: len(queries), Wait: 10})
-				if err != nil {
+				if err := PullIntoConn(ctx, conn, PullRequest{Role: "light", Max: len(queries), Wait: 10}, &pulled); err != nil {
 					b.Fatal(err)
 				}
 				if len(pulled.Queries) != len(queries) {
@@ -121,14 +125,13 @@ func BenchmarkWirePath(b *testing.B) {
 				}
 				got := 0
 				for got < len(queries) {
-					resp, err := conn.PollResults(ctx, ResultsRequest{Max: len(queries), Wait: 10})
-					if err != nil {
+					if err := PollResultsIntoConn(ctx, conn, ResultsRequest{Max: len(queries), Wait: 10}, &results); err != nil {
 						b.Fatal(err)
 					}
-					if len(resp.Results) == 0 {
+					if len(results.Results) == 0 {
 						b.Fatal("no results")
 					}
-					got += len(resp.Results)
+					got += len(results.Results)
 				}
 			}
 		})

@@ -190,6 +190,13 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 	lb := s.cfg.LB
 	epoch := 0
 	pullFails := 0
+	// The pull response and completion-item scratch live for the whole
+	// loop: each pull decodes into the same struct (reusing its query
+	// buffer) and each batch reuses the item slice, so a steady-state
+	// worker allocates nothing per cycle. Both are owned by this
+	// goroutine alone.
+	var pulled PullResponse
+	var items []CompleteItem
 	for ctx.Err() == nil {
 		now := s.cfg.Clock.Now()
 		s.mu.Lock()
@@ -205,9 +212,9 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 			continue
 		}
 
-		pulled, err := lb.Pull(ctx, PullRequest{
+		err := PullIntoConn(ctx, lb, PullRequest{
 			WorkerID: s.cfg.ID, Role: roleName(role), Max: batch, Wait: s.cfg.PullWait,
-		})
+		}, &pulled)
 		if err != nil {
 			// Transient transport failure: back off briefly. Past the
 			// redial threshold the conn is presumed dead for good —
@@ -226,7 +233,7 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 		}
 		pullFails = 0
 		if len(pulled.Queries) > 0 {
-			s.executeBatch(ctx, role, lb, pulled)
+			items = s.executeBatch(ctx, role, lb, &pulled, items)
 		}
 		if pulled.RingEpoch > epoch {
 			// The tier resharded: re-pin after the in-flight batch has
@@ -242,8 +249,11 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 }
 
 // executeBatch simulates execution and reports completions to lb, the
-// connection the batch was pulled from.
-func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LBConn, pulled PullResponse) {
+// connection the batch was pulled from. items is the caller's reusable
+// completion scratch; the (possibly grown) slice is returned for the
+// next batch — its Features fields point into the imagespace cache and
+// are only ever replaced, never written through.
+func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LBConn, pulled *PullResponse, items []CompleteItem) []CompleteItem {
 	queries := pulled.Queries
 	n := len(queries)
 	variant := s.cfg.Light
@@ -269,7 +279,7 @@ func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LB
 		req := CompleteRequest{
 			WorkerID: s.cfg.ID, Role: roleName(role), LeaseDeadline: pulled.LeaseDeadline,
 		}
-		req.Items = make([]CompleteItem, 0, n)
+		req.Items = items[:0]
 		for _, q := range queries {
 			query := s.cfg.Space.SampleQuery(q.ID)
 			img := s.cfg.Space.GenerateDeterministic(query, variant.Name, variant.Gen)
@@ -299,9 +309,11 @@ func (s *WorkerServer) executeBatch(ctx context.Context, role worker.Role, lb LB
 			}
 			backoff *= 2
 		}
+		items = req.Items
 	}
 
 	s.mu.Lock()
 	s.busy = false
 	s.mu.Unlock()
+	return items
 }

@@ -67,6 +67,12 @@ type Collector struct {
 	// incrementally by Record afterwards.
 	bucketSecs float64
 	buckets    []bucketAcc
+
+	// featSlab is the append-only arena backing InternFeatures copies.
+	// Slabs are never shrunk or recycled while the collector lives, so
+	// an interned slice stays valid (and immutable, by convention) for
+	// the collector's lifetime even after the slab rolls over.
+	featSlab []float64
 }
 
 // bucketAcc is the streaming state of one timeline bucket.
@@ -112,6 +118,37 @@ func (c *Collector) Record(r QueryRecord) {
 	if c.bucketSecs > 0 {
 		c.bucketAdd(r)
 	}
+}
+
+// featSlabSize is the float capacity of one arena slab. One slab
+// serves ~4k 16-dim feature vectors before the next allocation, so
+// interning is allocation-free in steady state.
+const featSlabSize = 1 << 16
+
+// InternFeatures copies f into the collector's append-only feature
+// arena and returns the copy. The returned slice is owned by the
+// collector, valid for its lifetime, and must be treated as
+// immutable; the caller's slice is not retained and may be reused or
+// recycled immediately. Callers on the pooled wire path intern a
+// decoded feature vector once and hand the same interned slice to
+// both Record and the query's result, so the decode buffer can go
+// back to its pool the moment the handler returns.
+func (c *Collector) InternFeatures(f []float64) []float64 {
+	if f == nil {
+		return nil
+	}
+	if len(c.featSlab)+len(f) > cap(c.featSlab) {
+		sz := featSlabSize
+		if len(f) > sz {
+			sz = len(f)
+		}
+		// Earlier interned slices keep referencing the old slab; it is
+		// simply abandoned to them.
+		c.featSlab = make([]float64, 0, sz)
+	}
+	start := len(c.featSlab)
+	c.featSlab = append(c.featSlab, f...)
+	return c.featSlab[start:len(c.featSlab):len(c.featSlab)]
 }
 
 // Merge folds every record of other into c by replaying them through

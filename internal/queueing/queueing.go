@@ -53,15 +53,25 @@ func (q *FIFO) Pop(now float64, n int) []Item {
 	if n <= 0 || len(q.items) == 0 {
 		return nil
 	}
+	return q.PopAppend(now, n, nil)
+}
+
+// PopAppend dequeues up to n items at time now, appending them to dst
+// and returning the extended slice. Passing a buffer with spare
+// capacity makes the dequeue allocation-free; the hot pull path feeds
+// it a pooled scratch slice.
+func (q *FIFO) PopAppend(now float64, n int, dst []Item) []Item {
+	if n <= 0 || len(q.items) == 0 {
+		return dst
+	}
 	if n > len(q.items) {
 		n = len(q.items)
 	}
-	out := make([]Item, n)
-	copy(out, q.items[:n])
+	dst = append(dst, q.items[:n]...)
 	q.items = append(q.items[:0], q.items[n:]...)
 	q.dequeued += n
 	q.trim(now)
-	return out
+	return dst
 }
 
 // PeekDeadline returns the arrival time of the oldest queued item and

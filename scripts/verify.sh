@@ -43,6 +43,11 @@ go test -race -count=2 \
 	-run 'TestChaosWorkerChurnNoLostQueries|TestTransportConformance/.*/lease-reclaim-exactly-once|TestTransportConformance/.*/retry-after-sever|TestControllerConservativeFailover|TestShardedLBDegradeSpill' \
 	./internal/cluster/
 go test -race ./internal/loadbalancer/
+# poolpoison leg: recycled wire buffers are filled with NaN sentinels
+# on release, so any handler that reads or resolves through a buffer
+# the pool already owns fails loudly instead of serving stale floats.
+# -short for the same wall-clock reason as the other race legs.
+go test -race -short -tags poolpoison ./internal/cluster/
 # bench-ring smoke: the consistent-hash lookup must stay within 2x of
 # the static-modulus ShardOf (full numbers in PERFORMANCE.md).
 go test -run '^$' -bench 'BenchmarkRingLookup|BenchmarkShardOf' -benchtime 100x ./internal/loadbalancer/ >/dev/null
