@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard chaos-soak fuzz-smoke allocs-gate poison-test
+.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard race-autoscale chaos-soak fuzz-smoke allocs-gate poison-test
 
 # verify is the tier-1 gate: formatting, static checks, build, tests.
 verify: fmt-check vet build test
@@ -81,6 +81,16 @@ bench-ring:
 race-reshard:
 	$(GO) test -race -short -count=2 \
 		-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
+		./internal/cluster/
+
+# race-autoscale soaks the elasticity loop under the race detector:
+# the controller alone scales a 1-shard frontend to 4 and back under a
+# bursty trace (zero lost/double-resolved queries, bounded epochs),
+# plus the epoch-collapse and retired-pump-termination regressions and
+# the membership-endpoint follower sync.
+race-autoscale:
+	$(GO) test -race -count=2 \
+		-run 'TestHarnessAutoscaleTopology|TestManyReshardsCollapseEpochs|TestRetiredPumpsTerminate|TestMembershipEndpointHTTP|TestMembershipFollowerSyncsOverTCP' \
 		./internal/cluster/
 
 # chaos-soak runs the fault-tolerance suite under the race detector:

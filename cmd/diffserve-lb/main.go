@@ -67,6 +67,11 @@ func main() {
 	if *shards < 1 {
 		fatal(fmt.Errorf("-lb-shards must be at least 1, got %d", *shards))
 	}
+	switch *transport {
+	case "", "http", cluster.TransportTCP:
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (have http, tcp)", *transport))
+	}
 	env, err := baselines.NewEnv(*cascadeN, *seed, 2000)
 	if err != nil {
 		fatal(err)
@@ -89,6 +94,27 @@ func main() {
 	errc := make(chan error, 64)
 	var serveMu sync.Mutex
 	nextShard := 0
+	nextPort := *port
+	// bind serves lb on addr, failing synchronously when the port is
+	// occupied (the admin /add-shard must not report an address that
+	// never came up).
+	bind := func(addr string, lb *cluster.LBServer) error {
+		switch *transport {
+		case "", "http":
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				return err
+			}
+			go func(ln net.Listener, lb *cluster.LBServer) {
+				errc <- http.Serve(ln, lb.Mux())
+			}(ln, lb)
+			return nil
+		case cluster.TransportTCP:
+			_, err := cluster.ServeLBTCP(addr, lb)
+			return err
+		}
+		return fmt.Errorf("unknown -transport %q (have http, tcp)", *transport)
+	}
 	serveShard := func() (int, string, error) {
 		serveMu.Lock()
 		defer serveMu.Unlock()
@@ -105,32 +131,30 @@ func main() {
 			cfg.RNGStream = "" // classic single-LB stream name
 		}
 		lb := cluster.NewLBServer(cfg)
-		addr := fmt.Sprintf(":%d", *port+i)
-		switch *transport {
-		case "", "http":
-			// Bind synchronously so an occupied port fails the caller
-			// (the admin /add-shard must not report an address that
-			// never came up), then serve in the background.
-			ln, err := net.Listen("tcp", addr)
-			if err != nil {
-				return 0, "", err
+		// Consecutive port allocation can land on a port another
+		// process already holds — long-lived admin APIs add shards far
+		// from the initial block. Skip occupied ports (each port is
+		// tried once; the cursor never moves backwards) instead of
+		// failing the add and re-failing on the same port forever.
+		const maxPortTries = 64
+		var lastErr error
+		for try := 0; try < maxPortTries; try++ {
+			addr := fmt.Sprintf(":%d", nextPort)
+			nextPort++
+			if err := bind(addr, lb); err != nil {
+				lastErr = err
+				fmt.Printf("diffserve-lb: shard %d: port %s occupied, trying next (%v)\n", i, addr, err)
+				continue
 			}
-			go func(ln net.Listener, lb *cluster.LBServer) {
-				errc <- http.Serve(ln, lb.Mux())
-			}(ln, lb)
-		case cluster.TransportTCP:
-			if _, err := cluster.ServeLBTCP(addr, lb); err != nil {
-				return 0, "", err
-			}
-		default:
-			return 0, "", fmt.Errorf("unknown -transport %q (have http, tcp)", *transport)
+			nextShard++
+			fmt.Printf("diffserve-lb: shard %d on %s\n", i, addr)
+			// Report a dialable address: ":port" only resolves to the
+			// right machine when the dialer shares this host, so
+			// multi-host layouts set -advertise.
+			return i, *advertise + addr, nil
 		}
-		nextShard++
-		fmt.Printf("diffserve-lb: shard %d on %s\n", i, addr)
-		// Report a dialable address: ":port" only resolves to the
-		// right machine when the dialer shares this host, so
-		// multi-host layouts set -advertise.
-		return i, *advertise + addr, nil
+		return 0, "", fmt.Errorf("no bindable port for shard %d in [%d, %d): last error: %w",
+			i, nextPort-maxPortTries, nextPort, lastErr)
 	}
 	for i := 0; i < *shards; i++ {
 		if _, _, err := serveShard(); err != nil {

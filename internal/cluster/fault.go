@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -320,6 +321,23 @@ func (c *faultLBConn) Stats(ctx context.Context) (LBStats, error) {
 	})
 	if err != nil {
 		return LBStats{}, err
+	}
+	return out, nil
+}
+
+func (c *faultLBConn) Membership(ctx context.Context) (MembershipResponse, error) {
+	src, ok := c.inner.(MembershipSource)
+	if !ok {
+		return MembershipResponse{}, errors.New("cluster: inner conn does not report membership")
+	}
+	var out MembershipResponse
+	err := c.run(ctx, "membership", func() error {
+		var e error
+		out, e = src.Membership(ctx)
+		return e
+	})
+	if err != nil {
+		return MembershipResponse{}, err
 	}
 	return out, nil
 }

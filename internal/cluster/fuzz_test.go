@@ -24,6 +24,7 @@ func fuzzTargets() []func() interface{} {
 		func() interface{} { return new(SubmitRequest) },
 		func() interface{} { return new(ResultsRequest) },
 		func() interface{} { return new(ResultsResponse) },
+		func() interface{} { return new(MembershipResponse) },
 	}
 }
 
@@ -45,13 +46,20 @@ func dirtyTargets() []func() interface{} {
 				Items: []CompleteItem{{ID: -1, Features: stale()}, {ID: -2, Features: stale()}}}
 		},
 		func() interface{} { return &ConfigureWorkerRequest{Role: "stale", Batch: 99} },
-		func() interface{} { return &ConfigureLBRequest{Threshold: 99, SplitProb: 99, RingEpoch: 99} },
+		func() interface{} {
+			return &ConfigureLBRequest{Threshold: 99, SplitProb: 99, RingEpoch: 99,
+				Members: []int{-1, -2, -3}, MemberAddrs: []string{"stale", "stale"}, MemberWeights: []int{99}}
+		},
 		func() interface{} { return &WorkerStats{ID: -1, Role: "stale", Busy: true, Batches: 99} },
 		func() interface{} { return &LBStats{Now: 99, Completed: 99, Reclaims: 99} },
 		func() interface{} { return &SubmitRequest{Queries: []QueryMsg{{ID: -1}, {ID: -2}}, Pool: "stale"} },
 		func() interface{} { return &ResultsRequest{Max: 99, Wait: 99} },
 		func() interface{} {
 			return &ResultsResponse{Results: []QueryResponse{{ID: -1, Variant: "stale", Features: stale()}}}
+		},
+		func() interface{} {
+			return &MembershipResponse{RingEpoch: 99,
+				Members: []int{-1, -2, -3}, Addrs: []string{"stale"}, Weights: []int{99, 98}}
 		},
 	}
 }
@@ -72,12 +80,14 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		&PullResponse{Queries: []QueryMsg{{ID: 1, Arrival: 2}}, RingEpoch: 3, LeaseDeadline: 4.5},
 		&CompleteRequest{WorkerID: 1, Role: "heavy", LeaseDeadline: 6.25, Items: []CompleteItem{{ID: 4, Variant: "sdv15", Features: []float64{3}}}},
 		&ConfigureWorkerRequest{Role: "light", Batch: 8},
-		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25, RingEpoch: 2},
+		&ConfigureLBRequest{Threshold: 0.7, SplitProb: 0.25, RingEpoch: 2,
+			Members: []int{0, 1, 4}, MemberAddrs: []string{"", ":8101", ":8104"}, MemberWeights: []int{3, 2, 2}},
 		&WorkerStats{ID: 2, Role: "heavy", Batch: 4, Busy: true, Batches: 10, Queries: 40},
 		&LBStats{Now: 100, LightQueueLen: 3, Completed: 50, InFlight: 4, Reclaims: 2, ShedRedelivery: 1, LateCompletions: 3, DegradedShards: 1},
 		&SubmitRequest{Queries: []QueryMsg{{ID: 5, Arrival: 1}}, Pool: "heavy"},
 		&ResultsRequest{Max: 64, Wait: 2},
 		&ResultsResponse{Results: []QueryResponse{{ID: 6, Variant: "sdturbo"}}},
+		&MembershipResponse{RingEpoch: 2, Members: []int{0, 2}, Addrs: []string{":8100", ":8102"}, Weights: []int{2, 1}},
 	}
 	for _, msg := range seeds {
 		data, err := CodecBinary.Marshal(msg)

@@ -126,6 +126,17 @@ type LBServer struct {
 	// PullResponse so shard-pinned workers notice membership changes.
 	ringEpoch atomic.Int64
 
+	// memberMu guards the tier-membership snapshot the server last
+	// adopted from a Configure broadcast. Every shard server in an
+	// elastic tier holds the same snapshot, so any of them can answer
+	// Membership() for followers (standalone frontends and workers)
+	// that track the tier through a single bootstrap address.
+	memberMu      sync.Mutex
+	memberEpoch   int
+	members       []int
+	memberAddrs   []string
+	memberWeights []int
+
 	// pools is indexed by loadbalancer.PoolID (PoolLight, PoolHeavy).
 	pools [2]lbPool
 
@@ -282,6 +293,7 @@ func (s *LBServer) Mux() *http.ServeMux {
 	mux.HandleFunc("/complete", s.handleComplete)
 	mux.HandleFunc("/configure", s.handleConfigure)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/membership", s.handleMembership)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -1045,6 +1057,19 @@ func (s *LBServer) Configure(req ConfigureLBRequest) {
 			break
 		}
 	}
+	// Adopt the membership snapshot monotonically too, under its own
+	// lock: the atomic above may already hold a newer epoch from a
+	// racing broadcast, so the snapshot keeps its own high-water mark.
+	if len(req.Members) > 0 {
+		s.memberMu.Lock()
+		if req.RingEpoch >= s.memberEpoch {
+			s.memberEpoch = req.RingEpoch
+			s.members = append(s.members[:0], req.Members...)
+			s.memberAddrs = append(s.memberAddrs[:0], req.MemberAddrs...)
+			s.memberWeights = append(s.memberWeights[:0], req.MemberWeights...)
+		}
+		s.memberMu.Unlock()
+	}
 	s.resMu.Lock()
 	s.threshold = req.Threshold
 	s.resMu.Unlock()
@@ -1112,6 +1137,31 @@ func (s *LBServer) Stats() LBStats {
 // follows the Accept header (GET has no body to infer from).
 func (s *LBServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := s.Stats()
+	writeMsg(w, codecForContentType(r.Header.Get("Accept")), &out)
+}
+
+// Membership reports the tier membership this server last adopted
+// from a Configure broadcast — epoch, member IDs, dial addresses, and
+// placement weights. A server that never saw a membership broadcast
+// (a standalone single-shard LB) reports its bare ring epoch with no
+// members; followers treat that as "nothing to follow".
+func (s *LBServer) Membership() MembershipResponse {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	out := MembershipResponse{RingEpoch: s.memberEpoch}
+	if out.RingEpoch == 0 {
+		out.RingEpoch = int(s.ringEpoch.Load())
+	}
+	out.Members = append([]int(nil), s.members...)
+	out.Addrs = append([]string(nil), s.memberAddrs...)
+	out.Weights = append([]int(nil), s.memberWeights...)
+	return out
+}
+
+// handleMembership serves the membership snapshot; like /stats the
+// response codec follows the Accept header.
+func (s *LBServer) handleMembership(w http.ResponseWriter, r *http.Request) {
+	out := s.Membership()
 	writeMsg(w, codecForContentType(r.Header.Get("Accept")), &out)
 }
 

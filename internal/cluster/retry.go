@@ -204,3 +204,20 @@ func (c *retryLBConn) Stats(ctx context.Context) (LBStats, error) {
 	// stale-plan failover.
 	return c.inner.Stats(ctx)
 }
+
+func (c *retryLBConn) Membership(ctx context.Context) (MembershipResponse, error) {
+	// Membership reads are idempotent (a pure snapshot, no server-side
+	// effect), so unlike Stats they retry: a follower whose poll hits a
+	// transient fault should still converge within the same interval.
+	src, ok := c.inner.(MembershipSource)
+	if !ok {
+		return MembershipResponse{}, errors.New("cluster: inner conn does not report membership")
+	}
+	var out MembershipResponse
+	err := c.do(ctx, func(ctx context.Context) error {
+		var e error
+		out, e = src.Membership(ctx)
+		return e
+	})
+	return out, err
+}

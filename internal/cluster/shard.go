@@ -44,6 +44,22 @@ import (
 // re-pinned), so nothing a retired shard still holds is ever lost.
 // Workers observe the flip through the ring-epoch field every pull
 // response carries and re-pin via their RePin hook.
+//
+// Neither old epochs nor retired conns are kept forever. The frontend
+// counts the in-flight queries dispatched under each epoch; an epoch
+// whose count has drained to zero (and that has a newer successor) is
+// quiesced and collapsed out of the installed list, so the Complete
+// fan-out stays bounded under continuous resharding. A retired member
+// finalizes once every epoch that knew it has collapsed and two
+// consecutive straggler sweeps came back empty: its cumulative
+// counters are folded into the merged Stats baseline, and its pump and
+// sweeper terminate instead of polling a drained shard forever.
+//
+// Membership is also discoverable at runtime: every reshard broadcast
+// carries the new (epoch, members, addrs, weights), each shard
+// republishes it through the Membership verb, and SyncMembership lets
+// a standalone frontend adopt the authority's flip — polled only on
+// epoch change — without redialing from a static address list.
 
 // shardPullSlice bounds, in trace seconds, how long a frontend Pull
 // parks on one shard before re-sweeping the others for work.
@@ -52,6 +68,12 @@ const shardPullSlice = 0.25
 // retiredSweepInterval is the trace-seconds cadence at which a
 // removed shard is re-swept for straggler queries.
 const retiredSweepInterval = 0.25
+
+// retiredEmptySweeps is how many consecutive empty straggler sweeps a
+// fully-quiesced retired member must report before it is finalized.
+// The grace rounds cover the re-route window for stale foreign
+// frontends that still route by a pre-flip membership.
+const retiredEmptySweeps = 2
 
 // ShardedLBConfig parameterizes the sharded frontend.
 type ShardedLBConfig struct {
@@ -84,6 +106,15 @@ type ShardedLBConfig struct {
 	// controller can trigger a reshard. The first success un-degrades.
 	// Zero defaults to 3; negative disables degradation.
 	DegradeThreshold int
+	// Weights, when set, makes placement capacity-aware: each epoch's
+	// ring is built with loadbalancer.NewWeightedRing over the weights
+	// the callback returns for that epoch's membership (a shard's
+	// worker-group size, in the harness), so a shard with fewer workers
+	// owns a proportionally smaller key share instead of its equal
+	// 1/N slice. Weights missing from the map or <= 0 count as 1.
+	// Every frontend of a tier must compute identical weights (or
+	// follow the authority via SyncMembership, which carries them).
+	Weights func(members []int) map[int]int
 }
 
 // epochRing is one installed placement epoch: the ring plus the
@@ -96,6 +127,7 @@ type epochRing struct {
 	ring    *loadbalancer.Ring
 	members []int    // sorted ascending
 	conns   []LBConn // parallel to members
+	weights []int    // parallel to members; nil when placement is unweighted
 	slot    map[int]int
 }
 
@@ -150,6 +182,28 @@ type ShardedLB struct {
 	// migrations.
 	reshardMu sync.Mutex
 
+	// Epoch-liveness accounting, behind the quiescence collapse.
+	// liveEpoch maps each in-flight query ID admitted through
+	// SubmitBatch (or migrated by a drain) to the epoch it was
+	// dispatched under; epochLive counts in-flight queries per epoch.
+	// Blocking Submits count in epochLive without an ID entry — their
+	// results return on the call itself, not through a pump. An epoch
+	// with a zero count and a newer successor is quiesced:
+	// collapseQuiescedLocked drops it from the installed list. liveMu
+	// is a leaf lock, taken under ringMu; curEpoch mirrors the newest
+	// epoch so decrement paths can skip the collapse attempt without
+	// touching ringMu.
+	liveMu    sync.Mutex
+	liveEpoch map[int]int
+	epochLive map[int]int
+	curEpoch  atomic.Int64
+
+	// addrMu guards the advertised member addresses (SetMemberAddr /
+	// Membership): the dial strings a following frontend needs to reach
+	// members it has never seen.
+	addrMu      sync.Mutex
+	memberAddrs map[int]string
+
 	// cfgMu guards the last configured policy AND serializes policy
 	// broadcasts: a reshard re-broadcasts lastCfg with the new epoch
 	// stamp, and without the serialization it could interleave with a
@@ -169,11 +223,14 @@ type ShardedLB struct {
 	// member maps to one conn forever). pumpsUp short-circuits
 	// startPumps once the initial scan has run — PollResults calls it
 	// on every poll, and reshardLocked starts pumps for members added
-	// later, so re-scanning would be pure lock traffic.
-	pumpMu  sync.Mutex
-	pumping bool
-	pumped  map[int]bool
-	pumpsUp atomic.Bool
+	// later, so re-scanning would be pure lock traffic. finished marks
+	// retired members that finalized: their pump exits on its next
+	// poll cycle and never restarts.
+	pumpMu   sync.Mutex
+	pumping  bool
+	pumped   map[int]bool
+	finished map[int]bool
+	pumpsUp  atomic.Bool
 
 	// rr rotates Pull's sweep start across calls so concurrent
 	// frontend pullers spread over the shards.
@@ -183,10 +240,18 @@ type ShardedLB struct {
 	// destructively resets its since-tick counters, so when a later
 	// shard's poll fails mid-merge the already-reset counters are
 	// stashed here and folded into the next successful merge instead
-	// of vanishing from the controller's demand estimate.
+	// of vanishing from the controller's demand estimate. It is held
+	// across the whole merge, which also serializes the merge against
+	// retired-member finalization — a finalizing member's last poll
+	// must fold into retiredBase exactly once, never alongside a
+	// concurrent merge poll of the same conn. retiredBase accumulates
+	// the cumulative counters of finalized members, so their completed
+	// and dropped work stays visible after their conns stop being
+	// polled.
 	statsMu       sync.Mutex
 	carryArrivals int
 	carryTimeouts int
+	retiredBase   LBStats
 
 	// Degradation state. A member that fails DegradeThreshold
 	// consecutive dispatches or pump polls is marked degraded; while
@@ -235,16 +300,48 @@ func DialShardedLB(transport, addrCSV string, codec Codec, clock *Clock, vnodes 
 		}
 		conns[i] = conn
 	}
-	return NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock, VNodes: vnodes})
+	s, err := NewShardedLB(ShardedLBConfig{Shards: conns, Clock: clock, VNodes: vnodes})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range addrs {
+		s.SetMemberAddr(i, a)
+	}
+	return s, nil
 }
 
 // buildRing constructs the placement for one epoch's membership under
-// the config's VNodes policy.
-func (cfg *ShardedLBConfig) buildRing(members []int) *loadbalancer.Ring {
-	if cfg.VNodes == 0 && contiguousMembers(members) {
-		return loadbalancer.NewModulusRing(len(members))
+// the config's VNodes policy. weights, when non-nil, overrides the
+// config's Weights callback — a following frontend builds the exact
+// ring the authority advertised rather than re-deriving it. The
+// returned weight vector is parallel to the sorted members and nil
+// when the placement is unweighted.
+func (cfg *ShardedLBConfig) buildRing(members []int, weights map[int]int) (*loadbalancer.Ring, []int) {
+	if weights == nil && cfg.Weights != nil {
+		weights = cfg.Weights(members)
 	}
-	return loadbalancer.NewRing(members, cfg.VNodes)
+	vec := make([]int, len(members))
+	uniform := true
+	for i, m := range members {
+		if w := weights[m]; w > 0 {
+			vec[i] = w
+		} else {
+			vec[i] = 1
+		}
+		if vec[i] != vec[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		// Equal weights are the unweighted placement bit for bit, so the
+		// legacy modulus shape (and NewRing) stay reachable under a
+		// Weights callback that happens to return a flat vector.
+		if cfg.VNodes == 0 && contiguousMembers(members) {
+			return loadbalancer.NewModulusRing(len(members)), nil
+		}
+		return loadbalancer.NewRing(members, cfg.VNodes), nil
+	}
+	return loadbalancer.NewWeightedRing(members, weights, cfg.VNodes), vec
 }
 
 // contiguousMembers reports whether sorted members are exactly 0..N-1
@@ -295,17 +392,23 @@ func NewShardedLB(cfg ShardedLBConfig) (*ShardedLB, error) {
 		}
 		e.slot[m] = i
 	}
-	e.ring = cfg.buildRing(e.members)
+	e.ring, e.weights = cfg.buildRing(e.members, nil)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &ShardedLB{
+	s := &ShardedLB{
 		cfg: cfg, ctx: ctx, cancel: cancel,
 		epochs:      []epochRing{e},
 		retired:     map[int]LBConn{},
 		pumped:      map[int]bool{},
+		finished:    map[int]bool{},
 		sweep:       append([]LBConn(nil), e.conns...),
 		memberFails: map[int]int{},
 		degraded:    map[int]bool{},
-	}, nil
+		liveEpoch:   map[int]int{},
+		epochLive:   map[int]int{},
+		memberAddrs: map[int]string{},
+	}
+	s.curEpoch.Store(int64(e.epoch))
+	return s, nil
 }
 
 // memberSort co-sorts a member list and its parallel conns.
@@ -471,9 +574,31 @@ func (s *ShardedLB) DegradedMembers() []int {
 func (s *ShardedLB) Submit(ctx context.Context, q QueryMsg) (QueryResponse, error) {
 	s.ringMu.RLock()
 	cur := s.cur()
+	epoch := cur.epoch
 	conn := cur.conns[s.shardFor(cur, q.ID)]
+	// A blocking waiter keeps its dispatch epoch live (so Complete
+	// fan-out still covers its shard) but needs no per-ID entry — the
+	// result returns on this call, never through a pump.
+	s.liveMu.Lock()
+	s.epochLive[epoch]++
+	s.liveMu.Unlock()
 	s.ringMu.RUnlock()
-	return conn.Submit(ctx, q)
+	resp, err := conn.Submit(ctx, q)
+	s.epochDone(epoch)
+	return resp, err
+}
+
+// epochDone releases one blocking Submit's hold on its dispatch epoch,
+// collapsing the epoch if the release drained it and it is no longer
+// current.
+func (s *ShardedLB) epochDone(epoch int) {
+	s.liveMu.Lock()
+	s.epochLive[epoch]--
+	drained := s.epochLive[epoch] <= 0
+	s.liveMu.Unlock()
+	if drained && int(s.curEpoch.Load()) != epoch {
+		s.maybeCollapse()
+	}
 }
 
 // SubmitBatch splits the batch by owning shard under the current ring
@@ -487,8 +612,12 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 	cur := s.cur()
 	n := len(cur.conns)
 	if n == 1 {
+		s.trackBatch(cur.epoch, req.Queries)
 		err := cur.conns[0].SubmitBatch(ctx, req)
 		s.recordDispatch(cur.members[0], err)
+		if err != nil {
+			s.untrackBatch(cur.epoch, req.Queries)
+		}
 		return err
 	}
 	// The fan-out scratch (per-shard groups and error slots) is pooled:
@@ -501,6 +630,7 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 		sh := s.shardFor(cur, q.ID)
 		groups[sh] = append(groups[sh], q)
 	}
+	s.trackBatch(cur.epoch, req.Queries)
 	var wg sync.WaitGroup
 	for i, g := range groups {
 		if len(g) == 0 {
@@ -511,10 +641,115 @@ func (s *ShardedLB) SubmitBatch(ctx context.Context, req SubmitRequest) error {
 			defer wg.Done()
 			errs[i] = cur.conns[i].SubmitBatch(ctx, SubmitRequest{Queries: g, Pool: req.Pool})
 			s.recordDispatch(cur.members[i], errs[i])
+			if errs[i] != nil {
+				s.untrackBatch(cur.epoch, g)
+			}
 		}(i, g)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// trackBatch tags each query with its dispatch epoch BEFORE the
+// dispatch flies: results race the submit call, and a landing result
+// must find the tag to release it. Callers hold ringMu for reading,
+// which pins epoch as current. A query already tagged (a client retry
+// re-admitting an ID, or a drain migrating it) moves to the new epoch.
+func (s *ShardedLB) trackBatch(epoch int, qs []QueryMsg) {
+	s.liveMu.Lock()
+	for i := range qs {
+		id := qs[i].ID
+		if old, ok := s.liveEpoch[id]; ok {
+			s.epochLive[old]--
+		}
+		s.liveEpoch[id] = epoch
+		s.epochLive[epoch]++
+	}
+	s.liveMu.Unlock()
+}
+
+// untrackBatch releases queries whose dispatch failed outright: the
+// shard never admitted them (or, if it did and the reply was lost,
+// their results land through the pump and find the tag already gone —
+// a harmless no-op either way, though in the lost-reply corner the
+// dispatch epoch may collapse while the silent registration persists;
+// its completion then relies on the lease-expiry reclaim rather than
+// the epoch fan-out). Skipping IDs re-tagged meanwhile keeps a
+// concurrent re-admission's newer tag intact.
+func (s *ShardedLB) untrackBatch(epoch int, qs []QueryMsg) {
+	s.liveMu.Lock()
+	drained := false
+	for i := range qs {
+		id := qs[i].ID
+		if e, ok := s.liveEpoch[id]; ok && e == epoch {
+			delete(s.liveEpoch, id)
+			s.epochLive[epoch]--
+			drained = drained || s.epochLive[epoch] <= 0
+		}
+	}
+	s.liveMu.Unlock()
+	if drained && int(s.curEpoch.Load()) != epoch {
+		s.maybeCollapse()
+	}
+}
+
+// untrackResults releases landed results' epoch tags and collapses any
+// non-current epoch the landings drained.
+func (s *ShardedLB) untrackResults(results []QueryResponse) {
+	cur := int(s.curEpoch.Load())
+	collapse := false
+	s.liveMu.Lock()
+	for i := range results {
+		id := results[i].ID
+		e, ok := s.liveEpoch[id]
+		if !ok {
+			continue
+		}
+		delete(s.liveEpoch, id)
+		s.epochLive[e]--
+		if s.epochLive[e] <= 0 && e != cur {
+			collapse = true
+		}
+	}
+	s.liveMu.Unlock()
+	if collapse {
+		s.maybeCollapse()
+	}
+}
+
+// maybeCollapse takes the ring write lock and collapses quiesced
+// epochs. Decrement paths call it only when they drained a non-current
+// epoch, so the write-lock traffic is per quiescence event, not per
+// result.
+func (s *ShardedLB) maybeCollapse() {
+	s.ringMu.Lock()
+	s.collapseQuiescedLocked()
+	s.ringMu.Unlock()
+}
+
+// collapseQuiescedLocked drops installed epochs with no live queries
+// (the newest epoch always stays: it routes new submits). The kept
+// epochs go into a fresh slice — Complete snapshots s.epochs by
+// reference, so the array a snapshot points at must never be mutated.
+// Callers hold ringMu exclusively.
+func (s *ShardedLB) collapseQuiescedLocked() {
+	if len(s.epochs) == 1 {
+		return
+	}
+	s.liveMu.Lock()
+	keep := make([]epochRing, 0, len(s.epochs))
+	for i := range s.epochs {
+		e := &s.epochs[i]
+		if i == len(s.epochs)-1 || s.epochLive[e.epoch] > 0 {
+			keep = append(keep, *e)
+		} else {
+			delete(s.epochLive, e.epoch)
+		}
+	}
+	s.liveMu.Unlock()
+	if len(keep) != len(s.epochs) {
+		s.epochs = keep
+	}
 }
 
 // submitScratch recycles SubmitBatch's fan-out state — the per-shard
@@ -585,7 +820,9 @@ func (s *ShardedLB) startPumps() {
 // in-process poll cancelled at shutdown still returns the batch it
 // popped, and dropping it would lose resolved queries. Retired
 // shards keep their pump — stragglers completed there after a
-// reshard still surface in the merged stream.
+// reshard still surface in the merged stream — until the member
+// finalizes, at which point the pump exits instead of long-polling a
+// drained shard forever.
 //
 // The pump doubles as the degradation tracker's health probe: poll
 // failures extend the member's failure streak, and each successful
@@ -600,12 +837,16 @@ func (s *ShardedLB) pump(member int, conn LBConn) {
 	// results already landed in the stream.
 	var resp ResultsResponse
 	for s.ctx.Err() == nil {
+		if s.pumpFinished(member) {
+			return
+		}
 		err := PollResultsIntoConn(s.ctx, conn, ResultsRequest{Max: 1024, Wait: s.cfg.PumpWait}, &resp)
 		if len(resp.Results) > 0 {
 			s.resMu.Lock()
 			s.results = append(s.results, resp.Results...)
 			s.wake.wake()
 			s.resMu.Unlock()
+			s.untrackResults(resp.Results)
 			for i := range resp.Results {
 				resp.Results[i] = QueryResponse{}
 			}
@@ -621,6 +862,14 @@ func (s *ShardedLB) pump(member int, conn LBConn) {
 		}
 		s.recordMemberSuccess(member)
 	}
+}
+
+// pumpFinished reports whether a member's pump should exit: its
+// retirement finalized, so no result can ever surface there again.
+func (s *ShardedLB) pumpFinished(member int) bool {
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	return s.finished[member]
 }
 
 // PollResults drains the merged result buffer with the same wait
@@ -883,8 +1132,9 @@ func (s *ShardedLB) broadcastConns() []LBConn {
 
 // Configure broadcasts the policy update to every shard — retired
 // ones included, so their pinned workers see epoch flips too — with
-// the current ring epoch stamped. The policy is remembered and
-// re-broadcast (with the new stamp) whenever membership changes.
+// the current ring epoch and membership stamped. The policy is
+// remembered and re-broadcast (with the new stamp) whenever
+// membership changes.
 func (s *ShardedLB) Configure(ctx context.Context, req ConfigureLBRequest) error {
 	// cfgMu is held across the broadcast so a reshard's re-broadcast
 	// of the remembered policy cannot interleave with (and partially
@@ -892,7 +1142,13 @@ func (s *ShardedLB) Configure(ctx context.Context, req ConfigureLBRequest) error
 	s.cfgMu.Lock()
 	defer s.cfgMu.Unlock()
 	s.lastCfg = req
-	req.RingEpoch = s.Epoch()
+	s.ringMu.RLock()
+	cur := s.cur()
+	s.ringMu.RUnlock()
+	// cur stays valid outside the lock: epochs are immutable once
+	// installed, and a collapse swaps the slice without touching the
+	// array a snapshot points at.
+	s.stampMembership(&req, cur)
 	return s.broadcast(ctx, req)
 }
 
@@ -921,6 +1177,13 @@ func (s *ShardedLB) broadcast(ctx context.Context, req ConfigureLBRequest) error
 // shard are carried over and folded into the next successful merge
 // rather than dropped from the demand estimate.
 func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
+	// statsMu is held across the whole merge (control-plane cadence, so
+	// the hold is cheap): it guards the carried counters and serializes
+	// the merge against retired-member finalization, whose last
+	// destructive poll of a conn must never interleave with a merge
+	// poll of the same conn.
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	conns := s.broadcastConns()
 	var out LBStats
 	var firstErr error
@@ -952,8 +1215,13 @@ func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
 	// The frontend's own degradation view rides on top of whatever the
 	// shards reported (an LBServer never sets DegradedShards itself).
 	out.DegradedShards += int(s.degradedN.Load())
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
+	// Finalized retired members are no longer polled; their cumulative
+	// counters live on in the accumulated baseline.
+	out.Completed += s.retiredBase.Completed
+	out.Dropped += s.retiredBase.Dropped
+	out.Reclaims += s.retiredBase.Reclaims
+	out.ShedRedelivery += s.retiredBase.ShedRedelivery
+	out.LateCompletions += s.retiredBase.LateCompletions
 	if firstErr != nil {
 		s.carryArrivals += out.ArrivalsSinceTick
 		s.carryTimeouts += out.TimeoutsSinceTick
@@ -976,21 +1244,21 @@ func (s *ShardedLB) Stats(ctx context.Context) (LBStats, error) {
 // Member IDs are never reused: re-adding a retired member is an
 // error, because its old conn may still hold registrations.
 //
-// Scope: the flip is local to THIS frontend (plus the workers, which
-// follow the epoch their pull responses carry). Another frontend —
-// a standalone diffserve-client dialed with its own -shard-addrs —
-// keeps routing by its boot-time membership: queries it sends to a
-// retired shard are re-routed by the straggler sweep (within ~2
-// trace-seconds of added latency), and it sends nothing to added
-// shards until redialed with the new address list. Multi-frontend
-// deployments should drive reshards through the controller admin RPC
-// and redial client frontends afterwards; a membership-discovery
-// channel that lets every frontend follow flips automatically is a
-// ROADMAP item.
+// Scope: the flip originates at THIS frontend (plus the workers,
+// which follow the epoch their pull responses carry), but it is
+// discoverable: the re-broadcast stamps every shard with the new
+// (epoch, members, addrs, weights), each shard republishes them
+// through the Membership verb, and another frontend — a standalone
+// diffserve-client dialed with its own -shard-addrs — adopts the flip
+// by calling SyncMembership when it notices the epoch move. Until it
+// does, it keeps routing by its last-known membership: queries it
+// sends to a retired shard are re-routed by the straggler sweep
+// (within ~2 trace-seconds of added latency), which is also why a
+// retired member keeps a grace window before finalizing.
 func (s *ShardedLB) Resharding(ctx context.Context, members []int, conns map[int]LBConn) error {
 	s.reshardMu.Lock()
 	defer s.reshardMu.Unlock()
-	return s.reshardLocked(ctx, members, conns)
+	return s.reshardLocked(ctx, members, conns, -1, nil)
 }
 
 // AddShard grows the ring by one member served by conn.
@@ -1003,7 +1271,7 @@ func (s *ShardedLB) AddShard(ctx context.Context, member int, conn LBConn) error
 			return fmt.Errorf("cluster: shard member %d already in the ring", member)
 		}
 	}
-	return s.reshardLocked(ctx, append(cur, member), map[int]LBConn{member: conn})
+	return s.reshardLocked(ctx, append(cur, member), map[int]LBConn{member: conn}, -1, nil)
 }
 
 // RemoveShard shrinks the ring by one member, migrating its queued
@@ -1025,20 +1293,30 @@ func (s *ShardedLB) RemoveShard(ctx context.Context, member int) error {
 	if len(next) == 0 {
 		return fmt.Errorf("cluster: cannot remove the last shard member %d", member)
 	}
-	return s.reshardLocked(ctx, next, nil)
+	return s.reshardLocked(ctx, next, nil, -1, nil)
 }
 
-// reshardLocked is the membership-change core. Callers hold
-// reshardMu.
-func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns map[int]LBConn) error {
+// reshardLocked is the membership-change core. targetEpoch < 0
+// installs the next epoch number (a locally-originated flip);
+// SyncMembership passes the authority's epoch so followers and
+// authority agree on epoch identity. weights, when non-nil, overrides
+// the config's Weights callback for this epoch's ring (the authority's
+// advertised vector). Callers hold reshardMu.
+func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns map[int]LBConn, targetEpoch int, weights map[int]int) error {
 	if len(members) == 0 {
 		return fmt.Errorf("cluster: resharding to an empty membership")
 	}
 
 	s.ringMu.Lock()
 	cur := s.cur()
+	if targetEpoch < 0 {
+		targetEpoch = cur.epoch + 1
+	} else if targetEpoch <= cur.epoch {
+		s.ringMu.Unlock()
+		return fmt.Errorf("cluster: resharding to epoch %d behind current epoch %d", targetEpoch, cur.epoch)
+	}
 	next := epochRing{
-		epoch:   cur.epoch + 1,
+		epoch:   targetEpoch,
 		members: append([]int(nil), members...),
 		slot:    make(map[int]int, len(members)),
 	}
@@ -1064,18 +1342,25 @@ func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns m
 			return fmt.Errorf("cluster: no connection for new shard member %d", m)
 		}
 	}
-	next.ring = s.cfg.buildRing(next.members)
+	next.ring, next.weights = s.cfg.buildRing(next.members, weights)
 	var removed []LBConn
+	var removedMembers []int
 	for i, m := range cur.members {
 		if _, keep := next.slot[m]; !keep {
 			s.retired[m] = cur.conns[i]
 			removed = append(removed, cur.conns[i])
+			removedMembers = append(removedMembers, m)
 		}
 	}
 	// The flip: acquiring ringMu exclusively barriered behind every
 	// in-flight submit batch, so batches before this line routed
 	// entirely by the old ring and batches after route by the new one.
 	s.epochs = append(s.epochs, next)
+	s.curEpoch.Store(int64(next.epoch))
+	// Quiesced predecessors collapse under the same exclusive hold, so
+	// 50 back-to-back reshards of an idle tier still leave a
+	// single-digit epoch list, not 50 rings fanning every Complete.
+	s.collapseQuiescedLocked()
 	s.rebuildSweepLocked()
 	s.ringMu.Unlock()
 
@@ -1093,25 +1378,43 @@ func (s *ShardedLB) reshardLocked(ctx context.Context, members []int, newConns m
 	}
 	s.pumpMu.Unlock()
 
-	// Re-broadcast the remembered policy with the new epoch stamped,
-	// so shard-pinned workers (including those on removed shards)
-	// observe the flip in their next pull response and re-pin. cfgMu
-	// is held across the broadcast so a racing Configure cannot end
-	// up partially overwritten by this stale policy.
+	// Re-broadcast the remembered policy with the new epoch AND the
+	// new membership stamped, so shard-pinned workers (including those
+	// on removed shards) observe the flip in their next pull response
+	// and re-pin, and every shard can republish the membership to
+	// standalone frontends. cfgMu is held across the broadcast so a
+	// racing Configure cannot end up partially overwritten by this
+	// stale policy.
 	s.cfgMu.Lock()
 	cfgMsg := s.lastCfg
-	cfgMsg.RingEpoch = next.epoch
+	s.stampMembership(&cfgMsg, &next)
 	_ = s.broadcast(ctx, cfgMsg)
 	s.cfgMu.Unlock()
 
 	// Migrate departing shards' queued work to the new owners, then
 	// keep sweeping for stragglers in the background.
-	for _, conn := range removed {
+	for i, conn := range removed {
 		s.drainShard(ctx, conn)
 		s.pumps.Add(1)
-		go s.sweepRetired(conn)
+		go s.sweepRetired(removedMembers[i], conn)
 	}
 	return nil
+}
+
+// stampMembership fills a configure broadcast's epoch and membership
+// fields from one epoch's view: the members, their advertised dial
+// addresses (empty where unknown), and the placement weight vector
+// (nil when unweighted).
+func (s *ShardedLB) stampMembership(req *ConfigureLBRequest, e *epochRing) {
+	req.RingEpoch = e.epoch
+	req.Members = append([]int(nil), e.members...)
+	req.MemberWeights = append([]int(nil), e.weights...)
+	req.MemberAddrs = make([]string, len(e.members))
+	s.addrMu.Lock()
+	for i, m := range e.members {
+		req.MemberAddrs[i] = s.memberAddrs[m]
+	}
+	s.addrMu.Unlock()
 }
 
 // drainShard pulls everything queued on a departing shard with
@@ -1178,6 +1481,10 @@ func (s *ShardedLB) resubmitMigrated(queries []QueryMsg, pool string) {
 		sh := cur.slot[cur.ring.Owner(q.ID)]
 		groups[sh] = append(groups[sh], q)
 	}
+	// Migration re-tags the queries to the epoch whose ring grouped
+	// them: their old shard forgot them, so their old epoch must not be
+	// what keeps their new shard in the Complete fan-out.
+	s.trackBatch(cur.epoch, queries)
 	s.ringMu.RUnlock()
 	for {
 		pending := false
@@ -1207,21 +1514,27 @@ func (s *ShardedLB) resubmitMigrated(queries []QueryMsg, pool string) {
 	}
 }
 
-// sweepRetired periodically re-drains a removed shard until the
-// frontend closes: a worker that pulled before the flip can still
-// push a deferral into the retired shard's heavy queue after the
-// migration drain ran, and without a re-pinned worker pulling there
-// that query would strand forever. Empty sweeps back off
-// exponentially, but only up to 8x the base interval (2
-// trace-seconds): besides pre-flip worker stragglers, the sweep is
-// the re-route path for any OTHER frontend that has not learned the
-// new membership — a standalone client keeps routing by its
-// boot-time ring until redialed (see Resharding) — and its
-// misdirected queries must reach their real owner with latency
-// budget left under typical SLOs.
-func (s *ShardedLB) sweepRetired(conn LBConn) {
+// sweepRetired periodically re-drains a removed shard: a worker that
+// pulled before the flip can still push a deferral into the retired
+// shard's heavy queue after the migration drain ran, and without a
+// re-pinned worker pulling there that query would strand forever.
+// Empty sweeps back off exponentially, but only up to 8x the base
+// interval (2 trace-seconds): besides pre-flip worker stragglers, the
+// sweep is the re-route path for any OTHER frontend that has not yet
+// adopted the new membership (see SyncMembership) — its misdirected
+// queries must reach their real owner with latency budget left under
+// typical SLOs.
+//
+// The sweep does not run forever. Once every epoch that knew the
+// member has collapsed (so no frontend-tracked query can live there)
+// and retiredEmptySweeps consecutive drains came back empty (the
+// grace window for stale foreign frontends), the member finalizes:
+// its counters fold into the Stats baseline and the sweeper — and the
+// member's result pump — terminate.
+func (s *ShardedLB) sweepRetired(member int, conn LBConn) {
 	defer s.pumps.Done()
 	interval := retiredSweepInterval
+	empty := 0
 	t := time.NewTimer(s.sweepWait(interval))
 	defer t.Stop()
 	for {
@@ -1231,12 +1544,74 @@ func (s *ShardedLB) sweepRetired(conn LBConn) {
 		case <-t.C:
 			if s.drainShard(s.ctx, conn) {
 				interval = retiredSweepInterval
-			} else if interval < 8*retiredSweepInterval {
-				interval *= 2
+				empty = 0
+			} else {
+				if s.memberQuiesced(member) {
+					empty++
+					if empty >= retiredEmptySweeps && s.finalizeRetired(member, conn) {
+						return
+					}
+				} else {
+					empty = 0
+				}
+				if interval < 8*retiredSweepInterval {
+					interval *= 2
+				}
 			}
 			t.Reset(s.sweepWait(interval))
 		}
 	}
+}
+
+// memberQuiesced reports whether no installed epoch knows the member:
+// every epoch that routed to it has collapsed, so no query the
+// frontend tracks can be registered there. Quiescence is monotonic —
+// member IDs are never reused, so a collapsed epoch naming the member
+// can never be reinstalled.
+func (s *ShardedLB) memberQuiesced(member int) bool {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	for i := range s.epochs {
+		if _, ok := s.epochs[i].slot[member]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finalizeRetired retires a member for good: its last Stats snapshot
+// folds into the merged-Stats baseline (cumulative counters stay
+// visible forever; the destructively-read tick counters carry into
+// the next merge), the conn leaves the retired set and the Pull
+// sweep, and the member's pump is told to exit. A failed final poll
+// postpones finalization to the next sweep round. Holding statsMu
+// across poll+fold keeps the snapshot from interleaving with a
+// concurrent merge's poll of the same conn, which would double-count.
+func (s *ShardedLB) finalizeRetired(member int, conn LBConn) bool {
+	s.statsMu.Lock()
+	st, err := conn.Stats(s.ctx)
+	if err != nil {
+		s.statsMu.Unlock()
+		return false
+	}
+	s.retiredBase.Completed += st.Completed
+	s.retiredBase.Dropped += st.Dropped
+	s.retiredBase.Reclaims += st.Reclaims
+	s.retiredBase.ShedRedelivery += st.ShedRedelivery
+	s.retiredBase.LateCompletions += st.LateCompletions
+	s.carryArrivals += st.ArrivalsSinceTick
+	s.carryTimeouts += st.TimeoutsSinceTick
+	s.statsMu.Unlock()
+
+	s.ringMu.Lock()
+	delete(s.retired, member)
+	s.rebuildSweepLocked()
+	s.ringMu.Unlock()
+
+	s.pumpMu.Lock()
+	s.finished[member] = true
+	s.pumpMu.Unlock()
+	return true
 }
 
 // sweepWait converts a sweep interval to wall time with a floor, so
@@ -1247,6 +1622,114 @@ func (s *ShardedLB) sweepWait(traceSecs float64) time.Duration {
 		wait = time.Millisecond
 	}
 	return wait
+}
+
+// SetMemberAddr records the dial address advertised for a member in
+// membership broadcasts, so a following frontend can dial members it
+// has never seen. DialShardedLB records the boot addresses; the
+// harness and admin paths record provisioned shards' addresses.
+func (s *ShardedLB) SetMemberAddr(member int, addr string) {
+	s.addrMu.Lock()
+	s.memberAddrs[member] = addr
+	s.addrMu.Unlock()
+}
+
+// Membership reports the frontend's own current view: the ring epoch,
+// the sorted members, their advertised dial addresses (empty where
+// unknown), and the placement weight vector (nil when unweighted).
+// Standalone shards answer the same verb with the last view their
+// authority broadcast (see LBServer.Membership).
+func (s *ShardedLB) Membership(ctx context.Context) (MembershipResponse, error) {
+	s.ringMu.RLock()
+	cur := s.cur()
+	s.ringMu.RUnlock()
+	resp := MembershipResponse{
+		RingEpoch: cur.epoch,
+		Members:   append([]int(nil), cur.members...),
+		Weights:   append([]int(nil), cur.weights...),
+		Addrs:     make([]string, len(cur.members)),
+	}
+	s.addrMu.Lock()
+	for i, m := range cur.members {
+		resp.Addrs[i] = s.memberAddrs[m]
+	}
+	s.addrMu.Unlock()
+	return resp, ctx.Err()
+}
+
+// SyncMembership adopts a newer membership from src (any conn that
+// serves the Membership verb — typically one of this frontend's own
+// shard conns, which republish the authority's broadcasts). dial
+// opens a connection to a member this frontend has never seen, from
+// its advertised address. It returns whether a flip was adopted; an
+// already-current epoch is a cheap no-op, which is why callers poll
+// it only when the epoch stamped on a pull or configure moves.
+//
+// The adopted epoch keeps the authority's number and weight vector,
+// so both sides compute identical placement and later syncs compare
+// epochs meaningfully.
+func (s *ShardedLB) SyncMembership(ctx context.Context, src MembershipSource, dial func(member int, addr string) (LBConn, error)) (bool, error) {
+	m, err := src.Membership(ctx)
+	if err != nil {
+		return false, err
+	}
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	if m.RingEpoch <= s.Epoch() {
+		return false, nil
+	}
+	newConns := map[int]LBConn{}
+	var weights map[int]int
+	for i, mem := range m.Members {
+		addr := ""
+		if i < len(m.Addrs) {
+			addr = m.Addrs[i]
+		}
+		if addr != "" {
+			s.SetMemberAddr(mem, addr)
+		}
+		if i < len(m.Weights) {
+			if weights == nil {
+				weights = make(map[int]int, len(m.Members))
+			}
+			weights[mem] = m.Weights[i]
+		}
+		if s.MemberConn(mem) == nil {
+			if dial == nil {
+				return false, fmt.Errorf("cluster: membership epoch %d adds member %d but no dialer was given", m.RingEpoch, mem)
+			}
+			if addr == "" {
+				return false, fmt.Errorf("cluster: membership epoch %d adds member %d with no advertised address", m.RingEpoch, mem)
+			}
+			conn, err := dial(mem, addr)
+			if err != nil {
+				return false, fmt.Errorf("cluster: dialing member %d at %s: %w", mem, addr, err)
+			}
+			newConns[mem] = conn
+		}
+	}
+	return true, s.reshardLocked(ctx, m.Members, newConns, m.RingEpoch, weights)
+}
+
+// LiveEpochs returns the installed-epoch count — bounded by the
+// quiescence collapse, and what the regression tests assert on.
+func (s *ShardedLB) LiveEpochs() int {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return len(s.epochs)
+}
+
+// RetiredMembers returns the removed members still awaiting
+// finalization, sorted ascending.
+func (s *ShardedLB) RetiredMembers() []int {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	out := make([]int, 0, len(s.retired))
+	for m := range s.retired {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // epochRings snapshots the installed epochs' rings, oldest first —

@@ -68,7 +68,8 @@ const (
 	methodLBStats
 	methodConfigureWorker
 	methodWorkerStats
-	methodMax = methodWorkerStats
+	methodMembership
+	methodMax = methodMembership
 )
 
 // Codec ids on the wire.
@@ -279,6 +280,8 @@ func (lbService) newRequest(method byte) (interface{}, bool) {
 		return getConfigureLBRequest(), true
 	case methodLBStats:
 		return nil, true
+	case methodMembership:
+		return nil, true
 	}
 	return nil, false
 }
@@ -316,6 +319,9 @@ func (l lbService) serve(ctx context.Context, method byte, req interface{}) (int
 		return nil, nil
 	case methodLBStats:
 		out := l.s.Stats()
+		return &out, nil
+	case methodMembership:
+		out := l.s.Membership()
 		return &out, nil
 	}
 	return nil, fmt.Errorf("method %d not served by the load balancer", method)
@@ -1021,6 +1027,12 @@ func (c tcpLBConn) Configure(ctx context.Context, req ConfigureLBRequest) error 
 func (c tcpLBConn) Stats(ctx context.Context) (LBStats, error) {
 	var out LBStats
 	err := c.c.call(ctx, methodLBStats, nil, &out)
+	return out, err
+}
+
+func (c tcpLBConn) Membership(ctx context.Context) (MembershipResponse, error) {
+	var out MembershipResponse
+	err := c.c.call(ctx, methodMembership, nil, &out)
 	return out, err
 }
 

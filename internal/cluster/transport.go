@@ -51,6 +51,33 @@ type ReusingLBConn interface {
 	PollResultsInto(ctx context.Context, req ResultsRequest, resp *ResultsResponse) error
 }
 
+// MembershipSource is the optional membership-discovery capability of
+// an LBConn: it reports the serving tier's current ring epoch and
+// member list (with dial addresses and placement weights when known).
+// Followers — standalone frontends and workers tracking an elastic
+// tier — poll it cheaply (the response is a few dozen bytes) and act
+// only when the epoch advances, so steady state costs one tiny read
+// per poll interval and a membership flip propagates within one
+// interval with no redials or operator intervention. It is a separate
+// interface rather than an LBConn method so existing LBConn
+// implementations (including test doubles outside this package) keep
+// compiling; MembershipFromConn is the capability-checking accessor.
+type MembershipSource interface {
+	// Membership returns the current ring epoch and member list.
+	Membership(ctx context.Context) (MembershipResponse, error)
+}
+
+// MembershipFromConn fetches membership via the conn's capability if
+// it has one; ok is false when the conn cannot report membership.
+func MembershipFromConn(ctx context.Context, conn LBConn) (m MembershipResponse, ok bool, err error) {
+	src, has := conn.(MembershipSource)
+	if !has {
+		return MembershipResponse{}, false, nil
+	}
+	m, err = src.Membership(ctx)
+	return m, true, err
+}
+
 // PullIntoConn pulls via the conn's buffer-reusing fast path when it
 // has one, falling back to the by-value Pull otherwise. resp is
 // overwritten entirely either way.
@@ -361,6 +388,12 @@ func (c httpLBConn) Stats(ctx context.Context) (LBStats, error) {
 	return out, err
 }
 
+func (c httpLBConn) Membership(ctx context.Context) (MembershipResponse, error) {
+	var out MembershipResponse
+	err := c.get(ctx, "/membership", &out)
+	return out, err
+}
+
 type httpWorkerConn struct{ httpPeer }
 
 // NewHTTPWorkerConn connects to a worker's control plane at baseURL.
@@ -436,6 +469,10 @@ func (c localLBConn) Configure(ctx context.Context, req ConfigureLBRequest) erro
 
 func (c localLBConn) Stats(ctx context.Context) (LBStats, error) {
 	return c.s.Stats(), ctx.Err()
+}
+
+func (c localLBConn) Membership(ctx context.Context) (MembershipResponse, error) {
+	return c.s.Membership(), ctx.Err()
 }
 
 type localWorkerConn struct{ s *WorkerServer }

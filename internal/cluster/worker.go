@@ -59,6 +59,16 @@ type WorkerConfig struct {
 	// batch (0 defaults to 4). Retries back off exponentially from
 	// PollInterval with deterministic per-worker jitter.
 	CompleteRetries int
+	// Steal, when set, returns the other shard members' connections.
+	// After a pull from the pinned shard comes back empty, the worker
+	// tries one zero-wait pull from each in turn — cross-shard work
+	// stealing. In a weighted tier the ring sizes key shares to
+	// worker-group capacity, but integer striping still leaves
+	// fractional mismatch; stealing soaks up that remainder so a
+	// thin shard's spare worker-seconds serve the tier instead of
+	// idling. A stolen batch completes to the shard it was pulled
+	// from (that shard holds the queries' registrations).
+	Steal func() []LBConn
 }
 
 // WorkerServer simulates one GPU worker: it long-polls batches from
@@ -234,6 +244,25 @@ func (s *WorkerServer) Loop(ctx context.Context) {
 		pullFails = 0
 		if len(pulled.Queries) > 0 {
 			items = s.executeBatch(ctx, role, lb, &pulled, items)
+		} else if s.cfg.Steal != nil {
+			// The pinned shard's long poll expired empty: the worker has
+			// spare capacity right now. Poach one batch from another
+			// member with zero-wait pulls (never parking on a foreign
+			// shard — the pinned shard stays the only long poll).
+			for _, alt := range s.cfg.Steal() {
+				if alt == nil || alt == lb || ctx.Err() != nil {
+					continue
+				}
+				if PullIntoConn(ctx, alt, PullRequest{
+					WorkerID: s.cfg.ID, Role: roleName(role), Max: batch, Wait: 0,
+				}, &pulled) != nil {
+					continue
+				}
+				if len(pulled.Queries) > 0 {
+					items = s.executeBatch(ctx, role, alt, &pulled, items)
+					break
+				}
+			}
 		}
 		if pulled.RingEpoch > epoch {
 			// The tier resharded: re-pin after the in-flight batch has

@@ -309,6 +309,16 @@ func TestSimVsClusterShardedTCP(t *testing.T) {
 		t.Errorf("2->3-shard mid-trace reshard lost queries: %d completed / %d dropped of %d",
 			p.ReshardCompleted, p.ReshardDropped, p.Queries)
 	}
+	if p.UnevenWorkers != 7 || p.UnevenShards != 3 {
+		t.Errorf("uneven leg ran %d workers / %d shards, want 7 / 3", p.UnevenWorkers, p.UnevenShards)
+	}
+	if p.UnevenCompleted != p.UnevenSingleCompleted || p.UnevenDropped != p.UnevenSingleDropped {
+		t.Errorf("7-worker/3-shard leg diverged from its single-LB baseline: single %d/%d, sharded %d/%d (completed/dropped)",
+			p.UnevenSingleCompleted, p.UnevenSingleDropped, p.UnevenCompleted, p.UnevenDropped)
+	}
+	if p.UnevenSingleDropped != 0 {
+		t.Errorf("uneven parity baseline dropped %d queries under light load", p.UnevenSingleDropped)
+	}
 	var buf bytes.Buffer
 	r.Render(&buf)
 	if !strings.Contains(buf.String(), "shard parity") {

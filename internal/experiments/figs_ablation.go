@@ -285,13 +285,25 @@ type ShardParity struct {
 	// half-trace, so the counts cover an epoch flip plus the queued-
 	// work migration.
 	ReshardCompleted, ReshardDropped int
+	// Uneven* is the non-divisible leg: UnevenWorkers workers across
+	// UnevenShards shards (7 across 3), where integer striping cannot
+	// give every shard the same worker-group capacity. Weighted vnode
+	// placement sizes each shard's key share to its group and
+	// cross-shard work stealing soaks up the fractional remainder, so
+	// the counts still match a single-LB baseline with the same
+	// (reduced) worker count.
+	UnevenWorkers, UnevenShards                int
+	UnevenSingleCompleted, UnevenSingleDropped int
+	UnevenCompleted, UnevenDropped             int
 }
 
-// Matches reports whether the sharded topology — static and
-// mid-trace-resharded — reproduced the single-LB outcome counts.
+// Matches reports whether the sharded topologies — static,
+// mid-trace-resharded, and unevenly striped — reproduced their
+// single-LB outcome counts.
 func (p *ShardParity) Matches() bool {
 	return p.SingleCompleted == p.ShardedCompleted && p.SingleDropped == p.ShardedDropped &&
-		p.SingleCompleted == p.ReshardCompleted && p.SingleDropped == p.ReshardDropped
+		p.SingleCompleted == p.ReshardCompleted && p.SingleDropped == p.ReshardDropped &&
+		p.UnevenSingleCompleted == p.UnevenCompleted && p.UnevenSingleDropped == p.UnevenDropped
 }
 
 // SimVsCluster runs the same cascade-1 workload through both runtimes.
@@ -413,22 +425,33 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 	// resharding protocol.)
 	const parityWorkers = 9
 	// The parity legs run on wall-clock time like any cluster replay,
-	// and the resharding leg is timing-sensitive around the epoch
-	// flip: on a loaded 1-core CI box a scheduler stall at 50x replay
-	// spans several trace seconds and sheds queries that a quiet
-	// machine serves. 12.5x keeps the three legs deterministic even
-	// with residual load (e.g. straight after a race-detector run)
-	// while still finishing in ~10 wall seconds total.
+	// and they are timing-sensitive: on a loaded 1-core CI box a
+	// scheduler stall at 50x replay spans several trace seconds and
+	// sheds queries that a quiet machine serves. 12.5x keeps the
+	// flip-free legs deterministic even with residual load while
+	// still finishing in a few wall seconds each.
 	if timescale < 0.08 {
 		timescale = 0.08
 	}
+	// The resharding leg gets extra headroom on top of that: with
+	// capacity-weighted placement the 9-worker/2-shard ring splits
+	// {5,4}, so the mid-trace flip to a uniform three-way split
+	// migrates more keys than a uniform-to-uniform flip would, and a
+	// GC pause landing in that window used to shed the tail query
+	// nearest the SLO boundary roughly once per handful of full-suite
+	// runs. 4x replay makes the migrated queries' SLO budget over a
+	// wall second, which no realistic pause eats.
+	reshardScale := timescale
+	if reshardScale < 0.25 {
+		reshardScale = 0.25
+	}
 	out := &ShardParity{Shards: cfg.ClusterLBShards}
-	run := func(shards, vnodes int, reshard []cluster.ReshardEvent) (completed, dropped int, err error) {
+	run := func(ts float64, workers, shards, vnodes int, steal bool, reshard []cluster.ReshardEvent) (completed, dropped int, err error) {
 		a, err := allocator.NewMILP(allocator.Config{
 			Light: env.Light, Heavy: env.Heavy,
 			DiscPerImage: env.Scorer.PerImageLatency(),
 			Deferral:     env.Deferral,
-			TotalWorkers: parityWorkers,
+			TotalWorkers: workers,
 			SLO:          env.Spec.SLOSeconds,
 		})
 		if err != nil {
@@ -440,10 +463,10 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 		}
 		res, err := cluster.Run(cluster.HarnessConfig{
 			Space: env.Space, Light: env.Light, Heavy: env.Heavy, Scorer: env.Scorer,
-			Mode: loadbalancer.ModeCascade, Workers: parityWorkers, SLO: env.Spec.SLOSeconds,
-			Trace: tr, Ctrl: ctrl, Timescale: timescale, Seed: env.Seed + 23,
+			Mode: loadbalancer.ModeCascade, Workers: workers, SLO: env.Spec.SLOSeconds,
+			Trace: tr, Ctrl: ctrl, Timescale: ts, Seed: env.Seed + 23,
 			DisableLoadDelay: true, Transport: cfg.ClusterTransport,
-			LBShards: shards, RingVNodes: vnodes, Reshard: reshard,
+			LBShards: shards, RingVNodes: vnodes, Reshard: reshard, Steal: steal,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -458,10 +481,10 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 		}
 		return completed, dropped, nil
 	}
-	if out.SingleCompleted, out.SingleDropped, err = run(1, 0, nil); err != nil {
+	if out.SingleCompleted, out.SingleDropped, err = run(timescale, parityWorkers, 1, 0, false, nil); err != nil {
 		return nil, err
 	}
-	if out.ShardedCompleted, out.ShardedDropped, err = run(cfg.ClusterLBShards, cfg.ClusterRingVNodes, nil); err != nil {
+	if out.ShardedCompleted, out.ShardedDropped, err = run(timescale, parityWorkers, cfg.ClusterLBShards, cfg.ClusterRingVNodes, false, nil); err != nil {
 		return nil, err
 	}
 	// Resharding leg: start sharded on a true consistent-hash ring and
@@ -476,7 +499,22 @@ func shardParityRuns(cfg Config, env *baselines.Env, timescale float64) (*ShardP
 	reshard := []cluster.ReshardEvent{
 		{At: parityDuration / 2, Action: "add", Member: cfg.ClusterLBShards},
 	}
-	if out.ReshardCompleted, out.ReshardDropped, err = run(cfg.ClusterLBShards, vnodes, reshard); err != nil {
+	if out.ReshardCompleted, out.ReshardDropped, err = run(reshardScale, parityWorkers, cfg.ClusterLBShards, vnodes, false, reshard); err != nil {
+		return nil, err
+	}
+	// Uneven leg: 7 workers across 3 shards, a count the shard count
+	// does not divide. One shard's striped worker group is thinner than
+	// the others; weighted vnode placement shrinks that shard's key
+	// share proportionally, and cross-shard stealing covers the
+	// fractional remainder weights cannot express. Compared against its
+	// own 7-worker single-LB baseline (capacity differs from the
+	// 9-worker legs above).
+	const unevenWorkers, unevenShards = 7, 3
+	out.UnevenWorkers, out.UnevenShards = unevenWorkers, unevenShards
+	if out.UnevenSingleCompleted, out.UnevenSingleDropped, err = run(timescale, unevenWorkers, 1, 0, false, nil); err != nil {
+		return nil, err
+	}
+	if out.UnevenCompleted, out.UnevenDropped, err = run(timescale, unevenWorkers, unevenShards, vnodes, true, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -502,6 +540,11 @@ func (r *SimVsClusterResult) Render(w io.Writer) {
 		fmt.Fprintf(w, "shard parity (%d queries, static trace): single LB %d completed / %d dropped, %d shards %d completed / %d dropped, %d->%d shards mid-trace %d completed / %d dropped — %s\n",
 			p.Queries, p.SingleCompleted, p.SingleDropped, p.Shards, p.ShardedCompleted, p.ShardedDropped,
 			p.Shards, p.Shards+1, p.ReshardCompleted, p.ReshardDropped, verdict)
+		if p.UnevenWorkers > 0 {
+			fmt.Fprintf(w, "uneven parity (%d workers / %d shards, weighted ring + stealing): single LB %d completed / %d dropped, sharded %d completed / %d dropped\n",
+				p.UnevenWorkers, p.UnevenShards, p.UnevenSingleCompleted, p.UnevenSingleDropped,
+				p.UnevenCompleted, p.UnevenDropped)
+		}
 	}
 }
 

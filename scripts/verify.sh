@@ -34,6 +34,15 @@ go test -race -short -count=2 \
 go test -race -short -count=2 \
 	-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
 	./internal/cluster/
+# race-autoscale leg: the elasticity loop — the controller alone
+# scales a 1-shard frontend to 4 and back under a bursty trace with
+# exactly-once accounting, plus the epoch-quiescence collapse,
+# retired-pump-termination, and membership-endpoint regressions. Not
+# -short: the soak is the point, and its clock headroom tolerates the
+# race slowdown.
+go test -race -count=1 \
+	-run 'TestHarnessAutoscaleTopology|TestManyReshardsCollapseEpochs|TestRetiredPumpsTerminate|TestMembershipEndpointHTTP|TestMembershipFollowerSyncsOverTCP' \
+	./internal/cluster/
 # race-chaos leg: the fault-tolerance machinery — pull-lease expiry
 # sweeps and reclamation, retrying conns healing through scripted
 # severs, worker churn under injected drops/latency, controller
