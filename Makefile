@@ -2,32 +2,45 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test bench bench-perf bench-wire bench-shard bench-ring race-reshard race-autoscale chaos-soak fuzz-smoke allocs-gate poison-test
+# verify is the tier-1 gate: formatting, static checks, build, tests,
+# and the diffvet invariant suite.
+.PHONY: verify
+verify: fmt-check vet lint build test
 
-# verify is the tier-1 gate: formatting, static checks, build, tests.
-verify: fmt-check vet build test
-
+.PHONY: fmt-check
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+.PHONY: vet
 vet:
 	$(GO) vet ./...
 
+# lint runs the diffvet static-analysis suite (internal/analysis):
+# codecparity, poolownership, walltime, and globalrand. Exit 1 on any
+# finding; suppress only with //diffvet:allow <analyzer> — <reason>.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/diffvet ./...
+
+.PHONY: build
 build:
 	$(GO) build ./...
 
+.PHONY: test
 test:
 	$(GO) test ./...
 
 # bench regenerates every figure benchmark (minutes).
+.PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # bench-perf runs just the perf-pipeline benchmarks this refactor
 # tracks (see PERFORMANCE.md).
+.PHONY: bench-perf
 bench-perf:
 	$(GO) test -run '^$$' -bench 'Fig5$$|MomentsStreaming|MomentsBatch|GenerateCached|ExperimentsSerial|ExperimentsParallel' -benchmem .
 
@@ -36,6 +49,7 @@ bench-perf:
 # across the json, binary, tcp, and inproc transports (see
 # PERFORMANCE.md). The machine-readable summary lands in
 # BENCH_wire.json via cmd/benchjson.
+.PHONY: bench-wire
 bench-wire:
 	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkWirePath' -benchmem ./internal/cluster/)" \
 		|| { echo "$$out"; exit 1; }; \
@@ -45,6 +59,7 @@ bench-wire:
 # tier vs a single LBServer (see PERFORMANCE.md's "Sharded LB tier"
 # table; acceptance bar: >= 1.5x at 2 shards). Summary in
 # BENCH_shard.json.
+.PHONY: bench-shard
 bench-shard:
 	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkShardedSubmit' -benchmem ./internal/cluster/)" \
 		|| { echo "$$out"; exit 1; }; \
@@ -54,6 +69,7 @@ bench-shard:
 # tcp/binary cycle must stay within 16 allocs/op (8 queries/op, so
 # <= 2 allocs per query) and the in-process transport within 8.
 # Baseline before pooling: tcp 73 allocs/op (see PERFORMANCE.md).
+.PHONY: allocs-gate
 allocs-gate:
 	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkWirePath' -benchmem -count=1 ./internal/cluster/)" \
 		|| { echo "$$out"; exit 1; }; \
@@ -66,18 +82,21 @@ allocs-gate:
 # silently serving stale floats. The full suite runs without the race
 # detector; the race leg is -short because the ~10x slowdown distorts
 # the wall-clock-calibrated harness assertions.
+.PHONY: poison-test
 poison-test:
 	$(GO) test -tags poolpoison ./internal/cluster/
 	$(GO) test -race -short -tags poolpoison ./internal/cluster/
 
 # bench-ring compares the consistent-hash ring lookup against the
 # static-modulus ShardOf baseline (acceptance bar: ring within 2x).
+.PHONY: bench-ring
 bench-ring:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingLookup|BenchmarkShardOf' -benchmem ./internal/loadbalancer/
 
 # race-reshard hammers the dynamic-membership machinery — epoch
 # flips, drain migration, retired-shard sweeps, worker re-pinning —
 # under the race detector (the newest concurrency surface).
+.PHONY: race-reshard
 race-reshard:
 	$(GO) test -race -short -count=2 \
 		-run 'TestReshardChaosNoLostOrDoubleResolve|TestTransportConformance/.*/epoch-flip-atomic-submit|TestTransportConformance/.*/drain-pull-ownership' \
@@ -88,6 +107,7 @@ race-reshard:
 # bursty trace (zero lost/double-resolved queries, bounded epochs),
 # plus the epoch-collapse and retired-pump-termination regressions and
 # the membership-endpoint follower sync.
+.PHONY: race-autoscale
 race-autoscale:
 	$(GO) test -race -count=2 \
 		-run 'TestHarnessAutoscaleTopology|TestManyReshardsCollapseEpochs|TestRetiredPumpsTerminate|TestMembershipEndpointHTTP|TestMembershipFollowerSyncsOverTCP' \
@@ -99,6 +119,7 @@ race-autoscale:
 # retry-after-sever conformance rows on every transport, and the
 # controller/shard failover units. Raise COUNT for a longer hunt.
 COUNT ?= 2
+.PHONY: chaos-soak
 chaos-soak:
 	$(GO) test -race -count=$(COUNT) \
 		-run 'TestChaosWorkerChurnNoLostQueries|TestTransportConformance/.*/lease-reclaim-exactly-once|TestTransportConformance/.*/retry-after-sever|TestControllerConservativeFailover|TestShardedLBDegradeSpill' \
@@ -107,6 +128,7 @@ chaos-soak:
 # fuzz-smoke runs each decoder fuzz target briefly on top of the
 # committed seed corpus (testdata/fuzz). CI runs this on every push;
 # raise -fuzztime for a deeper local hunt.
+.PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime=10s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime=10s ./internal/cluster/

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestSuiteCleanOnRepo is the smoke gate: the full analyzer suite must
+// build and exit 0 over the whole module. Any new finding either gets
+// fixed or gets an explicit //diffvet:allow with a reason — silent
+// drift is not an option.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module sweep skipped in -short mode")
+	}
+	if code := run([]string{"-C", "../..", "./..."}); code != 0 {
+		t.Fatalf("diffvet ./... exited %d; the tree must be diffvet-clean", code)
+	}
+}
+
+// TestListAndOnly covers the operational flags.
+func TestListAndOnly(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if code := run([]string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("unknown -only analyzer exited %d, want 2", code)
+	}
+}

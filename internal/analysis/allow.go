@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces an escape-hatch comment:
+//
+//	//diffvet:allow walltime — lease sweeps are wall-clock by design
+//	//diffvet:allow walltime,globalrand — reason covering both
+//
+// The comment suppresses the named analyzers' diagnostics on its own
+// line and, when it is a standalone comment line, on the line directly
+// below it. The reason text after the analyzer list is mandatory.
+const allowPrefix = "//diffvet:allow"
+
+// an allowSet maps "file base offset-independent" (filename, line) to
+// the analyzer names allowed there.
+type allowSet map[allowKey]bool
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (s allowSet) suppresses(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	return s[allowKey{p.Filename, p.Line, analyzer}]
+}
+
+// collectAllows scans every comment in the files for allow directives.
+// It returns the suppression set plus diagnostics for malformed
+// directives (missing analyzer names or missing reason), attributed to
+// the pseudo-analyzer "allow" so the escape hatch itself cannot rot.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := c.Text[len(allowPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //diffvet:allowx — not a directive
+				}
+				names, reason := splitAllow(rest)
+				if len(names) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "diffvet:allow directive names no analyzer",
+						Analyzer: "allow",
+					})
+					continue
+				}
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "diffvet:allow directive has no reason (write //diffvet:allow " + strings.Join(names, ",") + " — why the invariant does not apply here)",
+						Analyzer: "allow",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, name := range names {
+					set[allowKey{p.Filename, p.Line, name}] = true
+					// A standalone comment line also covers the line
+					// below it, so directives can sit above long lines.
+					if onOwnLine(fset, f, c) {
+						set[allowKey{p.Filename, p.Line + 1, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return set, diags
+}
+
+// splitAllow parses " walltime,globalrand — reason..." into the
+// analyzer names and the reason text. Separators between the list and
+// the reason may be an em dash, a hyphen, a colon, or just whitespace.
+func splitAllow(rest string) (names []string, reason string) {
+	// A nested comment marker ("// want ..." in fixtures, editor
+	// annotations) is never part of the reason.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, ""
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		// "walltime:" style — the colon separator binds to the last name.
+		n = strings.TrimRight(strings.TrimSpace(n), ":")
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	reason = strings.TrimSpace(rest[len(fields[0]):])
+	reason = strings.TrimLeft(reason, "—–:- \t")
+	return names, strings.TrimSpace(reason)
+}
+
+// onOwnLine reports whether comment c is the only thing on its source
+// line (i.e. not trailing code), in which case the allow also applies
+// to the following line.
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cLine := fset.Position(c.Pos()).Line
+	own := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !own {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		// Any non-comment node that starts or ends on the comment's
+		// line and sits before the comment means trailing-code style.
+		if n.Pos().IsValid() && n.End() <= c.Pos() &&
+			fset.Position(n.End()-1).Line == cLine {
+			own = false
+			return false
+		}
+		return true
+	})
+	return own
+}

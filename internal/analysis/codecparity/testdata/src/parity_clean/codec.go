@@ -1,0 +1,17 @@
+package parity_clean
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func appendPing(b []byte, m *Ping) []byte {
+	b = binary.AppendVarint(b, int64(m.ID))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Load))
+}
+
+func readPing(data []byte, m *Ping) {
+	v, n := binary.Varint(data)
+	m.ID = int(v)
+	m.Load = math.Float64frombits(binary.LittleEndian.Uint64(data[n:]))
+}

@@ -1,0 +1,63 @@
+package parity_drift
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// sizeHint mirrors cluster's binarySizeHint: reads here must NOT count
+// as encode-side coverage (the analyzer ignores this function), so the
+// fixture reads Priority and proves the exclusion works.
+func binarySizeHint(m *PullRequest) int {
+	return 40 + m.Priority
+}
+
+func appendPullRequest(b []byte, m *PullRequest) []byte {
+	b = binary.AppendVarint(b, int64(m.WorkerID))
+	b = binary.AppendUvarint(b, uint64(len(m.Role)))
+	b = append(b, m.Role...)
+	b = binary.AppendVarint(b, int64(m.Max))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Wait))
+	if m.Drain {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func readPullRequest(data []byte, m *PullRequest) {
+	id, n := binary.Varint(data)
+	m.WorkerID = int(id)
+	data = data[n:]
+	rl, n := binary.Uvarint(data)
+	data = data[n:]
+	m.Role = string(data[:rl])
+	data = data[rl:]
+	mx, n := binary.Varint(data)
+	m.Max = int(mx)
+	data = data[n:]
+	m.Wait = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	m.Drain = data[8] != 0
+}
+
+func appendHalfCoded(b []byte, m *HalfCoded) []byte {
+	b = binary.AppendVarint(b, int64(m.A))
+	return binary.AppendVarint(b, int64(m.B))
+}
+
+func readHalfCoded(data []byte, m *HalfCoded) {
+	a, n := binary.Varint(data)
+	m.A = int(a)
+	c, _ := binary.Varint(data[n:])
+	m.C = int(c)
+}
+
+func readReuseOnly(data []byte, m *ReuseOnly) {
+	m.Xs = fillInts(m.Xs[:0], data)
+}
+
+func fillInts(dst []int, data []byte) []int {
+	for _, b := range data {
+		dst = append(dst, int(b))
+	}
+	return dst
+}

@@ -1,0 +1,42 @@
+// Package parity_drift is the codecparity drift fixture: a copy of a
+// real wire struct (cluster.PullRequest) with a freshly added field
+// the codec was never taught about — the exact bug shape the analyzer
+// exists to catch before a fuzzer has to — plus the tag-level parity
+// breaks (json:"-", missing tag, unexported field) and a struct whose
+// encode and decode sides drifted apart.
+package parity_drift
+
+// PullRequest copies the real wire struct; Priority is the
+// deliberately added, never-encoded field.
+type PullRequest struct {
+	WorkerID int     `json:"worker_id"`
+	Role     string  `json:"role"`
+	Max      int     `json:"max"`
+	Wait     float64 `json:"wait,omitempty"`
+	Drain    bool    `json:"drain,omitempty"`
+	Priority int     `json:"priority,omitempty"` // want `never read by the binary codec` // want `never written by the binary decode path`
+	Legacy   int     `json:"-"`                  // want `tagged json:"-"`
+	NoTag    int     // want `has no json tag`
+	hidden   int     // want `unexported field`
+}
+
+// HalfCoded drifted: B is encoded but never decoded, C decoded but
+// never encoded.
+type HalfCoded struct {
+	A int `json:"a"`
+	B int `json:"b"` // want `never written by the binary decode path`
+	C int `json:"c"` // want `never read by the binary codec`
+	//diffvet:allow codecparity — json-only debug field, intentionally absent from the binary codec
+	Spare int `json:"spare"`
+}
+
+// ReuseOnly's Xs is decoded with the capacity-reuse pattern
+// (m.Xs = fill(m.Xs[:0], ...)) but never encoded: the self-reuse read
+// on the decode line must not count as encode-side coverage.
+type ReuseOnly struct {
+	Xs []int `json:"xs"` // want `never read by the binary codec`
+}
+
+// touch keeps the unexported field referenced so the fixture
+// type-checks without an unused-field warning from vet-style tools.
+func (p *PullRequest) touch() int { return p.hidden }

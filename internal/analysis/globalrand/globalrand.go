@@ -1,0 +1,78 @@
+// Package globalrand implements the diffvet analyzer that bans the
+// global math/rand source.
+//
+// Every random draw in the simulator, the experiment harness, and the
+// cluster runtime must come from a seeded per-component stream
+// (stats.StreamRNG and friends): the global source is seeded once per
+// process, shared across goroutines, and advanced by whoever calls it
+// first, so one call to rand.Float64 in a hot path silently breaks
+// run-to-run determinism and sim-vs-cluster parity. The analyzer
+// forbids references to math/rand's package-level drawing functions —
+// rand.New(rand.NewSource(seed)) and methods on a *rand.Rand remain
+// the approved path.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"diffserve/internal/analysis"
+)
+
+// forbidden lists the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are the
+// approved seeded path and stay legal.
+var forbidden = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions, should the module migrate.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// randPkgs are the import paths whose package-level functions draw
+// from a process-global source.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer is the module-wide instance cmd/diffvet runs: determinism
+// is an invariant everywhere, so no package list scopes it.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid the global math/rand source (rand.Intn, rand.Float64, ...): randomness must flow " +
+		"from seeded per-component streams or determinism and sim-vs-cluster parity break",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // *rand.Rand methods are the approved path
+			}
+			if forbidden[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"global %s.%s draws from the process-wide source: use a seeded per-component *rand.Rand (rand.New(rand.NewSource(seed)))",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

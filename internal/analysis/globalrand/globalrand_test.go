@@ -1,0 +1,23 @@
+package globalrand
+
+import (
+	"testing"
+
+	"diffserve/internal/analysis/analysistest"
+)
+
+// TestGlobalRand checks that global-source draws are flagged, the
+// seeded rand.New(rand.NewSource(seed)) path and *rand.Rand methods
+// stay legal, and the allow escape suppresses.
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "globalrand_fix")
+}
+
+// TestGlobalRandClean checks the analyzer stays silent on a package
+// that only uses seeded per-component streams.
+func TestGlobalRandClean(t *testing.T) {
+	diags := analysistest.Run(t, ".", Analyzer, "globalrand_clean")
+	if n := len(diags["globalrand_clean"]); n != 0 {
+		t.Fatalf("globalrand_clean: want 0 diagnostics, got %d", n)
+	}
+}

@@ -1,0 +1,24 @@
+// Package globalrand_clean uses math/rand the sanctioned way — seeded
+// per-component streams — and must produce no diagnostics.
+package globalrand_clean
+
+import "math/rand"
+
+type component struct {
+	rng *rand.Rand
+}
+
+func newComponent(seed int64) *component {
+	return &component{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *component) draw() float64 {
+	if c.rng.Intn(2) == 0 {
+		return c.rng.Float64()
+	}
+	return c.rng.NormFloat64()
+}
+
+func (c *component) shuffle(xs []int) {
+	c.rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

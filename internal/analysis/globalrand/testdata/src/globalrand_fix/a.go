@@ -1,0 +1,33 @@
+// Package globalrand_fix exercises the globalrand analyzer: draws
+// from the process-global math/rand source are flagged; seeded
+// per-component streams and the constructors that build them stay
+// legal.
+package globalrand_fix
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)                      // want `global rand\.Seed`
+	x := rand.Intn(10)                 // want `global rand\.Intn`
+	_ = rand.Float64()                 // want `global rand\.Float64`
+	_ = rand.Perm(4)                   // want `global rand\.Perm`
+	_ = rand.NormFloat64()             // want `global rand\.NormFloat64`
+	rand.Shuffle(2, func(int, int) {}) // want `global rand\.Shuffle`
+	return x
+}
+
+func seededStream(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are the approved path
+	return r.Float64()                  // methods on a seeded *rand.Rand are fine
+}
+
+func seededZipf(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.5, 1, 100)
+	return z.Uint64()
+}
+
+func allowedEscape() int {
+	//diffvet:allow globalrand — fixture: demonstrating the escape hatch
+	return rand.Intn(3)
+}

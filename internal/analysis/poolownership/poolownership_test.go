@@ -1,0 +1,25 @@
+package poolownership
+
+import (
+	"testing"
+
+	"diffserve/internal/analysis/analysistest"
+)
+
+// TestPoolOwnership checks the ownership bug shapes against the
+// poolfix fixture: use-after-release (via helper and direct Put),
+// leaked acquires, and the clean patterns — round trip, deferred
+// release, handoff by return or call, sibling branches, reassignment,
+// and the allow escape.
+func TestPoolOwnership(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "poolfix")
+}
+
+// TestPoolOwnershipClean checks the analyzer stays silent on a package
+// that only uses the sanctioned acquire/use/release patterns.
+func TestPoolOwnershipClean(t *testing.T) {
+	diags := analysistest.Run(t, ".", Analyzer, "poolclean")
+	if n := len(diags["poolclean"]); n != 0 {
+		t.Fatalf("poolclean: want 0 diagnostics, got %d", n)
+	}
+}

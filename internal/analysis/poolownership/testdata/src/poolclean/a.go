@@ -1,0 +1,44 @@
+// Package poolclean exercises the sanctioned pooled-message patterns —
+// acquire/use/release, deferred release, and handoff — and must
+// produce no diagnostics.
+package poolclean
+
+import "sync"
+
+type Msg struct {
+	ID int
+}
+
+var msgPool = sync.Pool{New: func() interface{} { return new(Msg) }}
+
+func getMsg() *Msg     { return msgPool.Get().(*Msg) }
+func release(m *Msg)   { m.ID = 0; msgPool.Put(m) }
+func consume(m *Msg)   { _ = m.ID }
+func transform(id int) {}
+
+func roundTrip() int {
+	m := getMsg()
+	m.ID = 7
+	id := m.ID
+	release(m)
+	transform(id)
+	return id
+}
+
+func deferred() int {
+	m := getMsg()
+	defer release(m)
+	m.ID = 9
+	return m.ID
+}
+
+func handoff() *Msg {
+	m := getMsg()
+	m.ID = 11
+	return m
+}
+
+func handoffByCall() {
+	m := getMsg()
+	consume(m)
+}

@@ -1,0 +1,101 @@
+// Package poolfix exercises the poolownership analyzer against a
+// miniature of internal/cluster/pool.go: a typed sync.Pool, an
+// acquire helper, a release helper, and the ownership bug shapes the
+// analyzer guards against.
+package poolfix
+
+import "sync"
+
+type Msg struct{ Data []float64 }
+
+var msgPool = sync.Pool{New: func() interface{} { return new(Msg) }}
+
+// getMsg is classified as an acquire helper (body calls Pool.Get and
+// returns a result).
+func getMsg() *Msg { return msgPool.Get().(*Msg) }
+
+// release is classified as a release helper (body calls Pool.Put).
+func release(v interface{}) {
+	if m, ok := v.(*Msg); ok {
+		m.Data = m.Data[:0]
+		msgPool.Put(m)
+	}
+}
+
+func useAfterRelease() float64 {
+	m := getMsg()
+	m.Data = append(m.Data, 1)
+	release(m)
+	return m.Data[0] // want `use of m after it was released to the pool`
+}
+
+func useAfterDirectPut() {
+	m := getMsg()
+	msgPool.Put(m)
+	m.Data = nil // want `use of m after it was released to the pool`
+}
+
+func leaks() {
+	m := getMsg() // want `m acquired from a pool but never released or handed off`
+	m.Data = append(m.Data, 2)
+}
+
+func cleanRoundTrip() {
+	m := getMsg()
+	m.Data = append(m.Data, 3)
+	release(m)
+}
+
+func cleanDefer() {
+	m := getMsg()
+	defer release(m)
+	m.Data = append(m.Data, 4) // deferred release runs at exit: no poison
+}
+
+func cleanHandoffReturn() *Msg {
+	m := getMsg()
+	return m // ownership moves to the caller
+}
+
+func cleanHandoffCall() {
+	m := getMsg()
+	consume(m) // ownership moves to the callee
+}
+
+func consume(m *Msg) {
+	defer release(m)
+	m.Data = append(m.Data, 5)
+}
+
+func cleanSiblingBranch(b bool) {
+	m := getMsg()
+	if b {
+		release(m)
+		return
+	}
+	m.Data = append(m.Data, 6) // the release path returned: not poisoned
+	release(m)
+}
+
+func cleanReacquire() {
+	m := getMsg()
+	release(m)
+	m = getMsg()
+	m.Data = append(m.Data, 7) // fresh value: taint does not survive reassignment
+	release(m)
+}
+
+func allowedUseAfterRelease() {
+	m := getMsg()
+	release(m)
+	//diffvet:allow poolownership — fixture: demonstrating the escape hatch
+	m.Data = nil
+}
+
+func poisonedBranchStillCaught(b bool) {
+	m := getMsg()
+	if b {
+		release(m) // conditional release does not end the path ...
+	}
+	m.Data = nil // want `use of m after it was released to the pool`
+}

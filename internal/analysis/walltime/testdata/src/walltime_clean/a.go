@@ -1,0 +1,11 @@
+// Package walltime_clean is a fixture whose import path is NOT in the
+// analyzer's trace-time package list: wall-clock use here is legal, so
+// the analyzer must stay silent.
+package walltime_clean
+
+import "time"
+
+func wallClockIsFineHere() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}

@@ -1,0 +1,54 @@
+// Package walltime_trace is a walltime fixture standing in for a
+// trace-time package: the test scopes the analyzer to this import
+// path, so wall-clock reads and sleeps must be flagged while timer
+// plumbing fed computed durations stays legal.
+package walltime_trace
+
+import (
+	"context"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                 // want `wall-clock time\.Now in trace-time package`
+	time.Sleep(time.Millisecond)   // want `wall-clock time\.Sleep`
+	<-time.After(time.Millisecond) // want `wall-clock time\.After`
+	<-time.Tick(time.Millisecond)  // want `wall-clock time\.Tick`
+	_ = time.Since(time.Time{})    // want `wall-clock time\.Since`
+	_ = time.Until(time.Time{})    // want `wall-clock time\.Until`
+}
+
+func allowedAbove() {
+	//diffvet:allow walltime — fixture: deliberate wall-clock read
+	_ = time.Now()
+}
+
+func allowedTrailing() {
+	time.Sleep(0) //diffvet:allow walltime — fixture: deliberate wall sleep
+}
+
+func missingReason() {
+	//diffvet:allow walltime // want `diffvet:allow directive has no reason`
+	_ = time.Now() // want `wall-clock time\.Now`
+}
+
+func missingName() {
+	//diffvet:allow // want `diffvet:allow directive names no analyzer`
+	_ = 1
+}
+
+func wrongAnalyzerAllowed() {
+	//diffvet:allow globalrand — fixture: names a different analyzer, so walltime still fires
+	_ = time.Now() // want `wall-clock time\.Now`
+}
+
+func legalTimerPlumbing(ctx context.Context, wall time.Duration) bool {
+	t := time.NewTimer(wall) // timers fed pre-computed wall durations are the Clock's job to build
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,43 @@
+package walltime
+
+import (
+	"testing"
+
+	"diffserve/internal/analysis/analysistest"
+)
+
+// TestWalltimeTracePackage runs the analyzer scoped to the fixture
+// package and checks every forbidden call is flagged, the allow
+// escapes (same-line and line-above) suppress, malformed allows are
+// themselves reported, and timer plumbing stays legal.
+func TestWalltimeTracePackage(t *testing.T) {
+	analysistest.Run(t, ".", New("walltime_trace"), "walltime_trace")
+}
+
+// TestWalltimeOutOfScopePackage: a package not in the trace-time list
+// may use the wall clock freely.
+func TestWalltimeOutOfScopePackage(t *testing.T) {
+	diags := analysistest.Run(t, ".", New("walltime_trace"), "walltime_clean")
+	if n := len(diags["walltime_clean"]); n != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0", n)
+	}
+}
+
+// TestTracePackagesPinned pins the module's authoritative trace-time
+// list: shrinking it silently un-guards a package.
+func TestTracePackagesPinned(t *testing.T) {
+	want := map[string]bool{
+		"diffserve/internal/cluster":  true,
+		"diffserve/internal/simring":  true,
+		"diffserve/internal/queueing": true,
+		"diffserve/internal/system":   true,
+	}
+	if len(TracePackages) != len(want) {
+		t.Fatalf("TracePackages = %v, want the 4 trace-time packages", TracePackages)
+	}
+	for _, p := range TracePackages {
+		if !want[p] {
+			t.Fatalf("unexpected trace package %q", p)
+		}
+	}
+}

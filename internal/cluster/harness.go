@@ -177,7 +177,7 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	}
 	defer tp.Close()
 
-	wallStart := time.Now()
+	wallStart := time.Now() //diffvet:allow walltime — WallSeconds measures real elapsed time for the run report
 	clock := NewClock(cfg.Timescale)
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -506,13 +506,13 @@ func Run(cfg HarnessConfig) (*Result, error) {
 	case <-done:
 	case transportErr = <-tpFailed:
 	case transportErr = <-reshardFailed:
-	case <-time.After(clock.WallDuration(horizon)):
+	case <-time.After(clock.WallDuration(horizon)): //diffvet:allow walltime — shutdown watchdog must fire on wall time even if the trace clock stalls
 		drainAll()
 		select {
 		case <-done:
 		case transportErr = <-tpFailed:
 		case transportErr = <-reshardFailed:
-		case <-time.After(clock.WallDuration(grace) + 2*time.Second):
+		case <-time.After(clock.WallDuration(grace) + 2*time.Second): //diffvet:allow walltime — drain grace watchdog must fire on wall time even if the trace clock stalls
 		}
 	}
 	drainAll()
@@ -560,7 +560,7 @@ func Run(cfg HarnessConfig) (*Result, error) {
 		PeakLBShards:  shardCount,
 		FinalLBShards: shardCount,
 		LiveEpochs:    1,
-		WallSeconds:   time.Since(wallStart).Seconds(),
+		WallSeconds:   time.Since(wallStart).Seconds(), //diffvet:allow walltime — WallSeconds measures real elapsed time for the run report
 	}
 	if frontend != nil {
 		peakMu.Lock()

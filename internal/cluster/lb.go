@@ -442,7 +442,7 @@ func (s *LBServer) PollResultsInto(ctx context.Context, req ResultsRequest, resp
 		s.resMu.Unlock()
 		return
 	}
-	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait)) //diffvet:allow walltime — long-poll deadline in wall time; the trace wait is already Clock-converted
 	for {
 		s.resMu.Lock()
 		s.takeResultsInto(max, resp)
@@ -455,7 +455,7 @@ func (s *LBServer) PollResultsInto(ctx context.Context, req ResultsRequest, resp
 			return
 		}
 
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //diffvet:allow walltime — remaining wall budget of the Clock-converted long-poll deadline
 		if remain <= 0 {
 			return
 		}
@@ -561,7 +561,7 @@ func (s *LBServer) PullInto(ctx context.Context, req PullRequest, resp *PullResp
 	p := s.pool(req.Role)
 	var deadline time.Time
 	if req.Wait > 0 {
-		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+		deadline = time.Now().Add(s.cfg.Clock.WallDuration(req.Wait)) //diffvet:allow walltime — long-poll deadline in wall time; the trace wait is already Clock-converted
 	}
 	scratch := getItemScratch()
 	defer putItemScratch(scratch)
@@ -603,7 +603,7 @@ func (s *LBServer) PullInto(ctx context.Context, req PullRequest, resp *PullResp
 			resp.Queries = nil
 			return
 		}
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //diffvet:allow walltime — remaining wall budget of the Clock-converted long-poll deadline
 		if remain <= 0 {
 			resp.Queries = nil
 			return

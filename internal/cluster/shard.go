@@ -897,7 +897,7 @@ func (s *ShardedLB) PollResultsInto(ctx context.Context, req ResultsRequest, res
 		s.resMu.Unlock()
 		return nil
 	}
-	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait))
+	deadline := time.Now().Add(s.cfg.Clock.WallDuration(req.Wait)) //diffvet:allow walltime — long-poll deadline in wall time; the trace wait is already Clock-converted
 	for {
 		s.resMu.Lock()
 		s.takeInto(max, resp)
@@ -909,7 +909,7 @@ func (s *ShardedLB) PollResultsInto(ctx context.Context, req ResultsRequest, res
 		if len(resp.Results) > 0 {
 			return nil
 		}
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //diffvet:allow walltime — remaining wall budget of the Clock-converted long-poll deadline
 		if remain <= 0 {
 			return nil
 		}

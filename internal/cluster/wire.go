@@ -343,7 +343,7 @@ func NewClock(timescale float64) *Clock {
 	if timescale <= 0 {
 		timescale = 1
 	}
-	return &Clock{start: time.Now(), timescale: timescale}
+	return &Clock{start: time.Now(), timescale: timescale} //diffvet:allow walltime — Clock anchors trace time to the wall clock; this is the boundary itself
 }
 
 // Now returns the current trace time in seconds.
@@ -351,7 +351,7 @@ func (c *Clock) Now() float64 {
 	c.mu.Lock()
 	start := c.start
 	c.mu.Unlock()
-	return time.Since(start).Seconds() / c.timescale
+	return time.Since(start).Seconds() / c.timescale //diffvet:allow walltime — trace time is derived from wall elapsed since the anchor; this is the boundary itself
 }
 
 // Restart rewinds trace time to zero. The harness calls this after
@@ -359,7 +359,7 @@ func (c *Clock) Now() float64 {
 // MILP solve) does not consume trace time.
 func (c *Clock) Restart() {
 	c.mu.Lock()
-	c.start = time.Now()
+	c.start = time.Now() //diffvet:allow walltime — Restart re-anchors trace zero to the wall clock; this is the boundary itself
 	c.mu.Unlock()
 }
 
@@ -373,7 +373,7 @@ func (c *Clock) SleepTrace(d float64) {
 	if d <= 0 {
 		return
 	}
-	time.Sleep(c.WallDuration(d))
+	time.Sleep(c.WallDuration(d)) //diffvet:allow walltime — SleepTrace realizes a trace interval as wall time; this is the boundary itself
 }
 
 // SleepTraceCtx blocks for d trace-seconds or until ctx is cancelled,
@@ -385,7 +385,7 @@ func (c *Clock) SleepTraceCtx(ctx context.Context, d float64) bool {
 		return ctx == nil || ctx.Err() == nil
 	}
 	if ctx == nil || ctx.Done() == nil {
-		time.Sleep(c.WallDuration(d))
+		time.Sleep(c.WallDuration(d)) //diffvet:allow walltime — SleepTraceCtx realizes a trace interval as wall time; this is the boundary itself
 		return true
 	}
 	t := time.NewTimer(c.WallDuration(d))

@@ -9,6 +9,10 @@ if [ -n "$out" ]; then
 	exit 1
 fi
 go vet ./...
+# diffvet: the repo's own invariant analyzers (internal/analysis) —
+# wire/codec field parity, pooled-message ownership, trace-time
+# wall-clock bans, and global-rand bans. Exit 1 on any finding.
+go run ./cmd/diffvet ./...
 go build ./...
 go test ./...
 # The cluster runtime is the one heavily concurrent package (long-poll
