@@ -65,6 +65,17 @@ bench-shard:
 		|| { echo "$$out"; exit 1; }; \
 	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -out BENCH_shard.json
 
+# bench-milp runs the allocation-solver benchmarks: the Fig 5
+# allocation slice (one full Allocate: threshold binary search over
+# warm-started MILP subproblems) and the control-tick solve rate at
+# 1x and 10x the current pool count (see PERFORMANCE.md's
+# "Warm-started MILP" tables). Summary in BENCH_milp.json.
+.PHONY: bench-milp
+bench-milp:
+	@out="$$($(GO) test -run '^$$' -bench 'BenchmarkMILPSolve|BenchmarkControlTickSolve' -benchmem .)" \
+		|| { echo "$$out"; exit 1; }; \
+	printf '%s\n' "$$out" | $(GO) run ./cmd/benchjson -out BENCH_milp.json
+
 # allocs-gate pins the zero-allocation wire path: the end-to-end
 # tcp/binary cycle must stay within 16 allocs/op (8 queries/op, so
 # <= 2 allocs per query) and the in-process transport within 8.

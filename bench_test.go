@@ -8,6 +8,7 @@ package diffserve
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -122,6 +123,46 @@ func BenchmarkMILPSolve(b *testing.B) {
 		if _, err := a.Allocate(allocator.Observation{Demand: float64(4 + i%28)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkControlTickSolve measures the allocation slice of a full
+// control tick at 1× and 10× the current pool count: K independent
+// controllers (one per model pool, the forthcoming N-pool layout)
+// each re-solve their MILP against a drifting demand walk. The
+// reported ns/op is one tick across all K pools, so ticks/sec =
+// 1e9/ns — the solve-rate headroom number PERFORMANCE.md tracks.
+func BenchmarkControlTickSolve(b *testing.B) {
+	env, err := baselines.NewEnv("cascade1", 1, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pools := range []int{1, 10} {
+		b.Run(fmt.Sprintf("pools=%d", pools), func(b *testing.B) {
+			allocs := make([]*allocator.MILPAllocator, pools)
+			for k := range allocs {
+				a, err := allocator.NewMILP(allocator.Config{
+					Light: env.Light, Heavy: env.Heavy,
+					DiscPerImage: env.Scorer.PerImageLatency(),
+					Deferral:     env.Deferral,
+					TotalWorkers: 16,
+					SLO:          5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				allocs[k] = a
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, a := range allocs {
+					d := float64(4 + (i+7*k)%28)
+					if _, err := a.Allocate(allocator.Observation{Demand: d}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -91,10 +91,14 @@ func parseBudgets(spec string) (map[string]int64, error) {
 		return budgets, nil
 	}
 	for _, pair := range strings.Split(spec, ",") {
-		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
+		// Split at the LAST '=': sub-benchmark names may themselves
+		// contain one (BenchmarkControlTickSolve/pools=10=2600).
+		pair = strings.TrimSpace(pair)
+		cut := strings.LastIndexByte(pair, '=')
+		if cut < 0 {
 			return nil, fmt.Errorf("bad -max-allocs entry %q (want name=budget)", pair)
 		}
+		name, val := pair[:cut], pair[cut+1:]
 		n, err := strconv.ParseInt(val, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad -max-allocs budget %q: %v", pair, err)

@@ -76,6 +76,11 @@ func TestParseBudgets(t *testing.T) {
 	if _, err := parseBudgets("nobudget"); err == nil {
 		t.Fatal("malformed spec accepted")
 	}
+	// Sub-benchmark names may contain '=' themselves; the budget is
+	// after the LAST one.
+	if b, err := parseBudgets("BenchmarkControlTickSolve/pools=10=2600"); err != nil || b["BenchmarkControlTickSolve/pools=10"] != 2600 {
+		t.Fatalf("name-with-equals spec: %v, %v", b, err)
+	}
 	if _, err := parseBudgets("x=abc"); err == nil {
 		t.Fatal("non-numeric budget accepted")
 	}

@@ -118,6 +118,11 @@ type Config struct {
 	// FixedLightBatch and FixedHeavyBatch, when positive, pin the
 	// batch sizes (the AIMD ablation drives these externally).
 	FixedLightBatch, FixedHeavyBatch int
+	// NodeLimit caps branch-and-bound nodes per MILP subproblem (0
+	// means the solver default). When the cap is hit with a feasible
+	// incumbent in hand, the allocator uses the best-effort plan
+	// rather than failing the tick.
+	NodeLimit int
 }
 
 func (c *Config) validate() error {

@@ -2,6 +2,7 @@ package allocator
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"diffserve/internal/milp"
@@ -12,8 +13,19 @@ import (
 // latency, throughput, and budget constraints) as a mixed-integer
 // linear program and solves it with the internal branch-and-bound
 // solver.
+//
+// The allocator holds one milp.IncrementalSolver for its lifetime:
+// successive subproblems — the candidate thresholds of one Allocate's
+// binary search, and the nearly-identical problems of successive
+// control ticks — share the same shape, so the solver warm-starts
+// each from the previous optimal basis and incumbent instead of
+// re-deriving everything from scratch. Allocate is safe for
+// concurrent use; calls serialize on the solver.
 type MILPAllocator struct {
 	cfg Config
+
+	mu  sync.Mutex
+	inc milp.IncrementalSolver
 }
 
 // NewMILP constructs the DiffServe MILP allocator.
@@ -29,6 +41,15 @@ func (a *MILPAllocator) Name() string { return "diffserve-milp" }
 
 // Config returns the allocator's effective configuration.
 func (a *MILPAllocator) Config() Config { return a.cfg }
+
+// SolveStats returns the cumulative solver path counters (warm vs
+// cold LP solves, pivots, branch-and-bound nodes) for benchmarks and
+// controller telemetry.
+func (a *MILPAllocator) SolveStats() milp.IncrementalStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inc.Stats()
+}
 
 // Allocate implements Allocator.
 //
@@ -55,6 +76,8 @@ func (a *MILPAllocator) Config() Config { return a.cfg }
 // pools so neither runs at razor-thin utilization.
 func (a *MILPAllocator) Allocate(obs Observation) (Plan, error) {
 	start := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	c := &a.cfg
 	demand := math.Max(obs.Demand, 0) * c.OverProvision
 	ts, fs := thresholdGrid(c)
@@ -220,14 +243,15 @@ func (a *MILPAllocator) solveAtThreshold(obs Observation, demand, t, f float64) 
 	}
 	r[h] = -math.Max(demand, 0.5)
 	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 0, Name: "light-headroom"})
-	if demand*f > 0 {
-		r = row()
-		for b, bs := range heavyBs {
-			r[w2+b] = heavyThroughput(c, bs)
-		}
-		r[h] = -demand * f
-		cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 0, Name: "heavy-headroom"})
+	// Emitted even when demand*f == 0 (where it is trivially satisfied)
+	// so the problem shape is identical at every threshold and the
+	// incremental solver's warm state survives the binary search.
+	r = row()
+	for b, bs := range heavyBs {
+		r[w2+b] = heavyThroughput(c, bs)
 	}
+	r[h] = -demand * f
+	cons = append(cons, milp.Constraint{Coeffs: r, Rel: milp.GE, RHS: 0, Name: "heavy-headroom"})
 
 	prob := &milp.Problem{
 		Sense:       milp.Maximize,
@@ -236,12 +260,16 @@ func (a *MILPAllocator) solveAtThreshold(obs Observation, demand, t, f float64) 
 		Upper:       upper,
 		Integer:     integer,
 		Initial:     a.warmStart(obs, demand, f, nVars, w1, w2, y1, y2, h),
+		NodeLimit:   c.NodeLimit,
 	}
-	sol, err := milp.Solve(prob)
+	sol, err := a.inc.Solve(prob)
 	if err != nil {
 		return Plan{}, false, err
 	}
-	if sol.Status != milp.StatusOptimal {
+	// StatusNodeLimit is a best-effort feasible integral plan: the
+	// node budget ran out before proving optimality. A control tick
+	// needs *a* plan, so accept it like an optimal one.
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusNodeLimit {
 		return Plan{}, false, nil
 	}
 

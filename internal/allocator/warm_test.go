@@ -1,0 +1,116 @@
+package allocator
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPersistentSolverMatchesFreshOverDemandWalk is the allocator-
+// level warm-vs-cold equivalence pin: one long-lived MILPAllocator
+// (whose incremental solver carries basis and incumbent across ticks)
+// must produce plans equivalent to a freshly constructed allocator at
+// every step of a demand walk.
+func TestPersistentSolverMatchesFreshOverDemandWalk(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	warm, err := NewMILP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []float64{4, 6, 9, 14, 22, 30, 22, 14, 9, 6, 4, 0, 4, 18, 31, 2}
+	for step, d := range demands {
+		obs := Observation{Demand: d, LightQueueLen: step % 5, HeavyQueueLen: step % 3}
+		got, err := warm.Allocate(obs)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		fresh, err := NewMILP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Allocate(obs)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got.Feasible != want.Feasible {
+			t.Fatalf("step %d (D=%v): warm feasible=%v fresh feasible=%v", step, d, got.Feasible, want.Feasible)
+		}
+		// Threshold is the MILP's true objective; the worker/batch
+		// tie-breaks below it are pinned too since the solver is
+		// deterministic either way.
+		if math.Abs(got.Threshold-want.Threshold) > 1e-9 {
+			t.Fatalf("step %d (D=%v): warm threshold %v != fresh %v", step, d, got.Threshold, want.Threshold)
+		}
+		if got.LightWorkers != want.LightWorkers || got.HeavyWorkers != want.HeavyWorkers ||
+			got.LightBatch != want.LightBatch || got.HeavyBatch != want.HeavyBatch {
+			t.Fatalf("step %d (D=%v): warm plan %v != fresh plan %v", step, d, got, want)
+		}
+		if got.Feasible {
+			checkPlanFeasible(t, &cfg, obs, got)
+		}
+	}
+	if st := warm.SolveStats(); st.WarmLPs == 0 {
+		t.Fatalf("demand walk never exercised the warm path: %+v", st)
+	}
+}
+
+// TestAllocateConcurrentSafe drives one allocator from many
+// goroutines; calls must serialize on the internal solver without
+// racing (run under -race in CI).
+func TestAllocateConcurrentSafe(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	a, err := NewMILP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, err := a.Allocate(Observation{Demand: float64(3 + (g*7+i*5)%25)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestNodeLimitDegradesToPlan pins the satellite bugfix end to end:
+// with a tiny node budget the allocator still produces a usable
+// feasible plan (from the analytic warm-start incumbent) instead of
+// failing the control tick.
+func TestNodeLimitDegradesToPlan(t *testing.T) {
+	cfg := buildConfig(t, 16, 5)
+	cfg.NodeLimit = 2
+	a, err := NewMILP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{Demand: 18}
+	plan, err := a.Allocate(obs)
+	if err != nil {
+		t.Fatalf("node-limited tick should degrade, not fail: %v", err)
+	}
+	if !plan.Feasible {
+		t.Fatalf("node-limited tick returned infeasible plan: %v", plan)
+	}
+	checkPlanFeasible(t, &cfg, obs, plan)
+
+	// The degraded plan should still be in the ballpark of the
+	// unconstrained optimum: same demand, full node budget.
+	full, err := NewMILP(buildConfig(t, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := full.Allocate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Threshold > ref.Threshold+1e-9 {
+		t.Fatalf("degraded plan threshold %v exceeds optimal %v", plan.Threshold, ref.Threshold)
+	}
+}

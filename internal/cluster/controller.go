@@ -92,6 +92,14 @@ type ControllerLoopStats struct {
 	// Conservative reports whether the loop is currently running the
 	// stats-blind fallback plan.
 	Conservative bool
+	// MeanSolveMs is the average allocator solve time per control
+	// tick, in milliseconds — the number the warm-started MILP is
+	// meant to keep flat as the shard tier grows.
+	MeanSolveMs float64
+	// WarmLPs and ColdLPs split the MILP solver's LP relaxations by
+	// path: warm (reused basis) vs cold (fresh two-phase solve). Zero
+	// for allocators without an internal solver.
+	WarmLPs, ColdLPs int
 }
 
 // ControllerLoop polls runtime statistics, re-solves allocation, and
@@ -178,11 +186,16 @@ func (c *ControllerLoop) logf(format string, args ...interface{}) {
 func (c *ControllerLoop) LoopStats() ControllerLoopStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ControllerLoopStats{
+	st := ControllerLoopStats{
 		ConsecutiveStatsMisses: c.statsMisses,
 		TotalStatsMisses:       c.totalMisses,
 		Conservative:           c.conservative,
+		MeanSolveMs:            c.cfg.Ctrl.MeanSolveSeconds() * 1e3,
 	}
+	if ss, ok := c.cfg.Ctrl.SolveStats(); ok {
+		st.WarmLPs, st.ColdLPs = ss.WarmLPs, ss.ColdLPs
+	}
+	return st
 }
 
 // SetShards updates the shard count the role striping targets — the

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"diffserve/internal/allocator"
+	"diffserve/internal/milp"
 	"diffserve/internal/stats"
 )
 
@@ -137,4 +138,21 @@ func (c *Controller) MeanSolveSeconds() float64 {
 		return 0
 	}
 	return c.totalSolve / float64(c.ticks)
+}
+
+// SolverStatser is implemented by allocators that expose internal
+// solver path counters; the MILP allocator reports its incremental
+// solver's warm/cold split through it.
+type SolverStatser interface {
+	SolveStats() milp.IncrementalStats
+}
+
+// SolveStats returns the allocator's solver path counters when the
+// allocator exposes them; ok is false for allocators without an
+// internal solver (grid, AIMD).
+func (c *Controller) SolveStats() (st milp.IncrementalStats, ok bool) {
+	if s, isStatser := c.cfg.Alloc.(SolverStatser); isStatser {
+		return s.SolveStats(), true
+	}
+	return milp.IncrementalStats{}, false
 }

@@ -69,6 +69,11 @@ type Problem struct {
 	// feasible and integral it becomes the incumbent before search
 	// begins, letting branch-and-bound prune aggressively.
 	Initial []float64
+	// NodeLimit caps the number of branch-and-bound nodes explored
+	// (0 means the package default). When the cap is hit with an
+	// incumbent in hand, Solve returns it with StatusNodeLimit; with
+	// no incumbent it returns ErrNodeLimit.
+	NodeLimit int
 }
 
 // NumVars returns the number of decision variables.
@@ -129,6 +134,12 @@ const (
 	StatusOptimal Status = iota
 	StatusInfeasible
 	StatusUnbounded
+	// StatusNodeLimit marks a best-effort solution: branch-and-bound
+	// hit its node budget before proving optimality, but a feasible
+	// integral incumbent was in hand. Callers that need *a* plan (the
+	// control loop) should accept it; callers that need proven
+	// optimality should treat it as a failure.
+	StatusNodeLimit
 )
 
 func (s Status) String() string {
@@ -139,6 +150,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusNodeLimit:
+		return "node-limit"
 	}
 	return "unknown"
 }
@@ -173,140 +186,13 @@ func SolveLP(p *Problem) (*Solution, error) {
 }
 
 // Solve solves the mixed-integer program by best-bound branch and
-// bound over LP relaxations.
+// bound over LP relaxations. Each call runs cold; callers that solve
+// a sequence of related problems (the control loop) should hold an
+// IncrementalSolver instead, which reuses the tableau, basis, node
+// pool, and previous incumbent across calls.
 func Solve(p *Problem) (*Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if p.Integer == nil {
-		return SolveLP(p)
-	}
-
-	type node struct {
-		lo, hi []float64
-		bound  float64 // LP objective in minimize orientation
-	}
-
-	root := node{}
-	root.lo, root.hi = boundsOf(p)
-
-	rootSol, err := solveLPBounds(p, root.lo, root.hi)
-	if err != nil {
-		return nil, err
-	}
-	totalIters := rootSol.Iterations
-	if rootSol.Status != StatusOptimal {
-		rootSol.Iterations = totalIters
-		return rootSol, nil
-	}
-	root.bound = orient(p, rootSol.Objective)
-
-	best := (*Solution)(nil)
-	bestObj := math.Inf(1) // minimize orientation
-
-	// Seed the incumbent from a feasible, integral warm start.
-	if p.Initial != nil && len(p.Initial) == p.NumVars() && isFeasible(p, p.Initial) {
-		obj := 0.0
-		for i, x := range p.Initial {
-			obj += p.Objective[i] * x
-		}
-		bestObj = orient(p, obj)
-		best = &Solution{Status: StatusOptimal, X: append([]float64(nil), p.Initial...), Objective: obj}
-	}
-
-	// Best-bound frontier kept as a simple slice heap-by-scan; node
-	// counts are small enough that O(n) extraction is fine.
-	frontier := []node{root}
-	nodes := 0
-	for len(frontier) > 0 {
-		nodes++
-		if nodes > defaultCap {
-			return nil, ErrNodeLimit
-		}
-		// Pop the node with the smallest bound.
-		bi := 0
-		for i := range frontier {
-			if frontier[i].bound < frontier[bi].bound {
-				bi = i
-			}
-		}
-		cur := frontier[bi]
-		frontier[bi] = frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-
-		if cur.bound >= bestObj-1e-9 {
-			continue // pruned by bound
-		}
-		sol, err := solveLPBounds(p, cur.lo, cur.hi)
-		if err != nil {
-			return nil, err
-		}
-		totalIters += sol.Iterations
-		if sol.Status != StatusOptimal {
-			continue // infeasible subtree (unbounded cannot appear below root)
-		}
-		obj := orient(p, sol.Objective)
-		if obj >= bestObj-1e-9 {
-			continue
-		}
-		// Find the branching variable: prefer fractional binaries
-		// (batch/threshold selectors), which fix problem structure,
-		// over general integers; break ties by fractionality.
-		branchVar := -1
-		worstFrac := intTol
-		branchBinary := false
-		for i, isInt := range p.Integer {
-			if !isInt {
-				continue
-			}
-			f := math.Abs(sol.X[i] - math.Round(sol.X[i]))
-			if f <= intTol {
-				continue
-			}
-			binary := cur.hi[i]-cur.lo[i] <= 1+intTol
-			switch {
-			case binary && !branchBinary:
-				branchBinary = true
-				worstFrac = f
-				branchVar = i
-			case binary == branchBinary && f > worstFrac:
-				worstFrac = f
-				branchVar = i
-			}
-		}
-		if branchVar < 0 {
-			// Integral: new incumbent.
-			snapped := append([]float64(nil), sol.X...)
-			for i, isInt := range p.Integer {
-				if isInt {
-					snapped[i] = math.Round(snapped[i])
-				}
-			}
-			bestObj = obj
-			best = &Solution{Status: StatusOptimal, X: snapped, Objective: sol.Objective}
-			continue
-		}
-		v := sol.X[branchVar]
-		// Down child: x <= floor(v).
-		down := node{lo: append([]float64(nil), cur.lo...), hi: append([]float64(nil), cur.hi...), bound: obj}
-		down.hi[branchVar] = math.Floor(v)
-		if down.lo[branchVar] <= down.hi[branchVar] {
-			frontier = append(frontier, down)
-		}
-		// Up child: x >= ceil(v).
-		up := node{lo: append([]float64(nil), cur.lo...), hi: append([]float64(nil), cur.hi...), bound: obj}
-		up.lo[branchVar] = math.Ceil(v)
-		if up.lo[branchVar] <= up.hi[branchVar] {
-			frontier = append(frontier, up)
-		}
-	}
-
-	if best == nil {
-		return &Solution{Status: StatusInfeasible, Nodes: nodes, Iterations: totalIters}, nil
-	}
-	best.Nodes = nodes
-	best.Iterations = totalIters
-	return best, nil
+	var s IncrementalSolver
+	return s.Solve(p)
 }
 
 // isFeasible checks a candidate point against bounds, integrality,

@@ -14,7 +14,25 @@ import (
 //     == rows gain artificial variables,
 //   - phase 1 minimizes the artificial sum; phase 2 the true objective.
 func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
+	return solveLPBoundsBasis(p, lo, hi, nil)
+}
+
+// solveLPBoundsBasis is solveLPBounds with optional basis capture:
+// when basisOut is non-nil and the solve ends optimal, it is filled
+// with one entry per row (constraints first, then the bound rows of
+// finite-upper variables in variable order) naming that row's basic
+// column in canonical ids — structural variable i is i, the
+// slack/surplus of constraint row k is n+k, the slack of variable i's
+// bound row is n+m0+i, and an artificial left basic (a redundant row)
+// is -1. A GE row's surplus and the negated-to-LE form's slack are
+// the same variable, so the ids are stable across the sign
+// normalizations below and the IncrementalSolver's all-LE layout.
+func solveLPBoundsBasis(p *Problem, lo, hi []float64, basisOut *[]int) (*Solution, error) {
 	n := p.NumVars()
+	m0 := len(p.Constraints)
+	if basisOut != nil {
+		*basisOut = (*basisOut)[:0]
+	}
 
 	// Quick infeasibility: empty box.
 	for i := 0; i < n; i++ {
@@ -122,6 +140,24 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	slab := make([]float64, m*stride)
 	t := make([][]float64, m)
 	basis := make([]int, m)
+	// canonCol translates tableau columns to the canonical ids
+	// documented on solveLPBoundsBasis (only needed for capture).
+	var canonCol []int
+	if basisOut != nil {
+		canonCol = make([]int, total)
+		for j := 0; j < n; j++ {
+			canonCol[j] = j
+		}
+		for j := n; j < total; j++ {
+			canonCol[j] = -1
+		}
+	}
+	canonOf := func(ri int) int {
+		if ri < m0 {
+			return n + ri
+		}
+		return n + m0 + rows[ri].unit
+	}
 	slackCol := n
 	artCol := n + nSlack
 	artStart := artCol
@@ -142,9 +178,15 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 		case LE:
 			t[ri][slackCol] = 1
 			basis[ri] = slackCol
+			if canonCol != nil {
+				canonCol[slackCol] = canonOf(ri)
+			}
 			slackCol++
 		case GE:
 			t[ri][slackCol] = -1
+			if canonCol != nil {
+				canonCol[slackCol] = canonOf(ri)
+			}
 			slackCol++
 			t[ri][artCol] = 1
 			basis[ri] = artCol
@@ -218,6 +260,15 @@ func solveLPBounds(p *Problem, lo, hi []float64) (*Solution, error) {
 	}
 
 	// Extract the solution.
+	if basisOut != nil {
+		for _, bi := range basis {
+			if bi < len(canonCol) {
+				*basisOut = append(*basisOut, canonCol[bi])
+			} else {
+				*basisOut = append(*basisOut, -1) // artificial basic
+			}
+		}
+	}
 	xShift := make([]float64, total)
 	for ri, bi := range basis {
 		if bi < total {

@@ -56,6 +56,11 @@ go test -race -count=2 \
 	-run 'TestChaosWorkerChurnNoLostQueries|TestTransportConformance/.*/lease-reclaim-exactly-once|TestTransportConformance/.*/retry-after-sever|TestControllerConservativeFailover|TestShardedLBDegradeSpill' \
 	./internal/cluster/
 go test -race ./internal/loadbalancer/
+# race-milp leg: the warm-started incremental solver and its
+# allocator threading — warm-vs-cold equivalence, node-limit
+# degradation, and concurrent Allocate calls serializing on one
+# solver — raced under the detector (ISSUE 10 acceptance bar).
+go test -race ./internal/milp/ ./internal/allocator/
 # poolpoison leg: recycled wire buffers are filled with NaN sentinels
 # on release, so any handler that reads or resolves through a buffer
 # the pool already owns fails loudly instead of serving stale floats.
